@@ -1,0 +1,159 @@
+"""Ablation: linear vs indexed packet classification.
+
+The paper attributes Fig 8's linear latency growth to the engine searching
+"linearly through the packet type definitions for the exact match" (§7).
+This benchmark quantifies that design choice: it measures the production
+linear classifier against an indexed prototype that buckets filter entries
+by their EtherType tuple, over growing filter tables.
+
+The indexed variant demonstrates the flat-cost alternative the paper left
+as an optimisation; results land in benchmarks/results/classify.txt.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from conftest import save_table
+from repro.core.classify import Classifier, _read_field
+from repro.core.tables import FilterEntry, FilterTable, FilterTuple
+from repro.net import FLAG_ACK, TcpSegment, build_tcp_frame
+
+TABLE_SIZES = (5, 25, 100, 400)
+PACKETS_PER_ROUND = 2_000
+
+
+def build_table(n_entries: int) -> FilterTable:
+    """A table whose live TCP entry is last, behind n-1 decoys."""
+    entries = [
+        FilterEntry(
+            f"decoy{i}",
+            (FilterTuple(12, 2, 0x9000 + i), FilterTuple(14, 2, i & 0xFFFF)),
+        )
+        for i in range(n_entries - 1)
+    ]
+    entries.append(
+        FilterEntry(
+            "tcp_data",
+            (
+                FilterTuple(34, 2, 0x6000),
+                FilterTuple(36, 2, 0x4000),
+                FilterTuple(47, 1, 0x10, mask=0x10),
+            ),
+        )
+    )
+    return FilterTable(entries)
+
+
+def sample_packet() -> bytes:
+    seg = TcpSegment(0x6000, 0x4000, 1, 2, FLAG_ACK, 512, bytes(64))
+    return build_tcp_frame(
+        "02:00:00:00:00:01",
+        "02:00:00:00:00:02",
+        "10.0.0.1",
+        "10.0.0.2",
+        seg,
+    ).to_bytes()
+
+
+class IndexedClassifier:
+    """Prototype: entries bucketed by their (12, 2) EtherType tuple value.
+
+    Entries without an EtherType tuple fall into a catch-all bucket that
+    is always scanned, preserving first-match semantics within and across
+    buckets by keeping original positions.
+    """
+
+    def __init__(self, table: FilterTable) -> None:
+        self.table = table
+        self._buckets: Dict[Optional[int], List[Tuple[int, FilterEntry]]] = {}
+        for position, entry in enumerate(table.entries):
+            key = self._ethertype_key(entry)
+            self._buckets.setdefault(key, []).append((position, entry))
+        self._linear = Classifier(table)  # reuse tuple matching
+
+    @staticmethod
+    def _ethertype_key(entry: FilterEntry) -> Optional[int]:
+        for tup in entry.tuples:
+            if (
+                tup.offset == 12
+                and tup.nbytes == 2
+                and tup.mask is None
+                and isinstance(tup.pattern, int)
+            ):
+                return tup.pattern
+        return None
+
+    def classify(self, data: bytes) -> Optional[str]:
+        ethertype = _read_field(data, FilterTuple(12, 2, 0))
+        candidates = list(self._buckets.get(ethertype, []))
+        candidates += self._buckets.get(None, [])
+        candidates.sort(key=lambda item: item[0])
+        for _, entry in candidates:
+            if self._linear._match(entry, data) is not None:
+                return entry.name
+        return None
+
+
+@pytest.fixture(scope="module")
+def results():
+    import time
+
+    packet = sample_packet()
+    rows = []
+    for size in TABLE_SIZES:
+        table = build_table(size)
+        linear = Classifier(table)
+        indexed = IndexedClassifier(table)
+        t0 = time.perf_counter()
+        for _ in range(PACKETS_PER_ROUND):
+            linear.classify(packet)
+        linear_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(PACKETS_PER_ROUND):
+            indexed.classify(packet)
+        indexed_s = time.perf_counter() - t0
+        rows.append((size, linear_s, indexed_s))
+    lines = [f"{'entries':>8} {'linear us/pkt':>14} {'indexed us/pkt':>15}"]
+    for size, linear_s, indexed_s in rows:
+        lines.append(
+            f"{size:>8} {linear_s / PACKETS_PER_ROUND * 1e6:>14.2f} "
+            f"{indexed_s / PACKETS_PER_ROUND * 1e6:>15.2f}"
+        )
+    save_table("classify_ablation", "\n".join(lines))
+    return rows
+
+
+class TestClassifyAblation:
+    def test_linear_cost_grows_with_table(self, benchmark, results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        small = results[0][1]
+        large = results[-1][1]
+        assert large > small * 5  # 5->400 entries: cost clearly grows
+
+    def test_indexed_cost_stays_flat(self, benchmark, results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        small = results[0][2]
+        large = results[-1][2]
+        assert large < small * 5  # bucketing removes the linear term
+
+    def test_equivalence(self, benchmark):
+        """The optimisation must not change classification results."""
+        table = build_table(50)
+        packet = sample_packet()
+        linear = Classifier(table)
+        indexed = IndexedClassifier(table)
+        name = benchmark.pedantic(
+            lambda: indexed.classify(packet), rounds=1, iterations=1
+        )
+        assert name == linear.classify(packet)[0] == "tcp_data"
+
+    def test_linear_throughput(self, benchmark):
+        """Raw packets/second through the production classifier at the
+
+        paper's 25-entry table size.
+        """
+        table = build_table(25)
+        classifier = Classifier(table)
+        packet = sample_packet()
+        benchmark(lambda: classifier.classify(packet))

@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the FIE/FAE hot path.
+
+Isolates the per-packet work of Fig 4(b) — classify, counter update, term
+evaluation, condition settlement, armed-fault lookup — without a network
+around it, so regressions in the engine core show up independently of the
+simulator.
+"""
+
+import pytest
+
+from repro.core.classify import Classifier
+from repro.core.fsl import compile_text
+from repro.core.runtime import NodeRuntime
+from repro.core.tables import Direction
+from repro.net import FLAG_ACK, TcpSegment, build_tcp_frame
+from tests.core.test_runtime import RecordingHooks
+
+HEADER = """
+FILTER_TABLE
+  pkt: (12 2 0x0800)
+END
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END
+"""
+
+
+def runtime_for(body: str) -> NodeRuntime:
+    program = compile_text(HEADER + f"SCENARIO bench {body} END")
+    runtime = NodeRuntime("node1", program, RecordingHooks())
+    runtime.start()
+    return runtime
+
+
+class TestRuntimeHotPath:
+    def test_counter_update_no_rules(self, benchmark):
+        runtime = runtime_for("A: (pkt, node2, node1, RECV)")
+        benchmark(
+            lambda: runtime.on_classified_packet(
+                "pkt", "node2", "node1", Direction.RECV
+            )
+        )
+
+    def test_counter_update_with_rearming_rule(self, benchmark):
+        runtime = runtime_for(
+            """
+            A: (pkt, node2, node1, RECV)
+            ((A = 1)) >> RESET_CNTR( A );
+            """
+        )
+        benchmark(
+            lambda: runtime.on_classified_packet(
+                "pkt", "node2", "node1", Direction.RECV
+            )
+        )
+
+    def test_25_action_cascade(self, benchmark):
+        body = ["A: (pkt, node2, node1, RECV)", "X: (node1)"]
+        actions = ["RESET_CNTR( A )"] + ["INCR_CNTR( X, 1 )"] * 24
+        body.append("((A = 1)) >> " + "; ".join(actions) + ";")
+        runtime = runtime_for("\n".join(body))
+        benchmark(
+            lambda: runtime.on_classified_packet(
+                "pkt", "node2", "node1", Direction.RECV
+            )
+        )
+
+    def test_armed_fault_lookup(self, benchmark):
+        runtime = runtime_for(
+            """
+            A: (pkt, node2, node1, RECV)
+            ((A >= 0)) >> DROP pkt, node2, node1, RECV;
+            """
+        )
+        runtime.on_classified_packet("pkt", "node2", "node1", Direction.RECV)
+        result = benchmark(
+            lambda: runtime.armed_faults("pkt", "node2", "node1", Direction.RECV)
+        )
+        assert result
+
+
+class TestClassifierHotPath:
+    def test_classify_25_filters_worst_case(self, benchmark):
+        entries = []
+        lines = ["FILTER_TABLE"]
+        for i in range(24):
+            lines.append(f"  d{i}: (12 2 0x9{i % 10}0{i // 10})")
+        lines.append("  live: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)")
+        lines.append("END")
+        lines.append(HEADER.split("FILTER_TABLE")[0] + """
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END
+SCENARIO s
+""")
+        for i in range(24):
+            lines.append(f"  C{i}: (d{i}, node1, node2, RECV)")
+        lines.append("  L: (live, node1, node2, RECV)")
+        lines.append("END")
+        program = compile_text("\n".join(lines))
+        classifier = Classifier(program.filters)
+        seg = TcpSegment(0x6000, 0x4000, 1, 2, FLAG_ACK, 512, bytes(64))
+        packet = build_tcp_frame(
+            "02:00:00:00:00:01",
+            "02:00:00:00:00:02",
+            "10.0.0.1",
+            "10.0.0.2",
+            seg,
+        ).to_bytes()
+        name, scanned = benchmark(lambda: classifier.classify(packet))
+        assert name == "live" and scanned == 25

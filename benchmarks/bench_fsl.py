@@ -1,0 +1,82 @@
+"""Front-end performance: FSL parse and compile cost (§5.1).
+
+The paper's workflow recompiles a script per test-case run, so the
+front-end must stay trivially cheap next to the scenario itself.  We
+measure the paper's own scripts plus a synthetically large scenario.
+"""
+
+import pytest
+
+from conftest import save_table
+from repro.core.fsl import compile_text, parse_script
+from repro.scripts import rether_failover_script, tcp_congestion_script
+
+NODES_2 = """
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END
+"""
+
+NODES_4 = """
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+  node3 02:00:00:00:00:03 192.168.1.3
+  node4 02:00:00:00:00:04 192.168.1.4
+END
+"""
+
+
+def synthetic_script(n_rules: int) -> str:
+    lines = ["FILTER_TABLE"]
+    for i in range(25):
+        lines.append(f"  f{i}: (12 2 0x9{i % 10}0{i // 10}), (14 2 {i})")
+    lines.append("END")
+    lines.append(NODES_4)
+    lines.append("SCENARIO big 1sec")
+    for i in range(n_rules):
+        lines.append(f"  C{i}: (f{i % 25}, node1, node2, RECV)")
+    for i in range(n_rules):
+        lines.append(
+            f"  ((C{i} > {i}) && (C{(i + 1) % n_rules} <= {i + 5})) >> "
+            f"INCR_CNTR( C{i}, 1 ); RESET_CNTR( C{(i + 2) % n_rules} );"
+        )
+    lines.append("END")
+    return "\n".join(lines)
+
+
+class TestFrontEndCost:
+    def test_parse_fig5(self, benchmark):
+        script = tcp_congestion_script(NODES_2)
+        ast = benchmark(lambda: parse_script(script))
+        assert ast.scenarios
+
+    def test_compile_fig5(self, benchmark):
+        script = tcp_congestion_script(NODES_2)
+        program = benchmark(lambda: compile_text(script))
+        assert program.table_sizes()["conditions"] == 8
+
+    def test_compile_fig6(self, benchmark):
+        script = rether_failover_script(NODES_4)
+        program = benchmark(lambda: compile_text(script))
+        assert program.timeout_ns == 10**9
+
+    def test_compile_large_scenario(self, benchmark):
+        script = synthetic_script(100)
+        program = benchmark(lambda: compile_text(script))
+        assert program.table_sizes()["conditions"] == 100
+
+    def test_scaling_summary(self, benchmark):
+        import time
+
+        rows = []
+        for n_rules in (10, 50, 100, 200):
+            script = synthetic_script(n_rules)
+            t0 = time.perf_counter()
+            for _ in range(20):
+                compile_text(script)
+            elapsed = (time.perf_counter() - t0) / 20
+            rows.append(f"{n_rules:>6} rules: {elapsed * 1000:>7.2f} ms/compile")
+        save_table("fsl_compile", "\n".join(rows))
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

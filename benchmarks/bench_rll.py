@@ -1,0 +1,94 @@
+"""Ablation: the Reliable Link Layer's cost and benefit (§3.3).
+
+Two questions the paper's design raises:
+
+1. **Benefit** — on a noisy wire, how many TCP-level retransmissions does
+   the RLL prevent?  (It should prevent all of them: the controlled-
+   environment guarantee.)
+2. **Cost** — on a clean wire, what throughput does its encapsulation and
+   acknowledgement traffic give up?
+
+Results land in benchmarks/results/rll_ablation.txt.
+"""
+
+import pytest
+
+from conftest import save_table
+from repro.core.testbed import Testbed
+from repro.sim import NS_PER_SEC, seconds
+from repro.workloads import BulkReceiver, BulkSender
+
+TRANSFER = 512 * 1024
+
+
+def run_transfer(rll: bool, bit_error_rate: float, seed: int = 13):
+    tb = Testbed(seed=seed)
+    node1 = tb.add_host("node1")
+    node2 = tb.add_host("node2")
+    tb.add_link("l0", bit_error_rate=bit_error_rate, queue_frames=256)
+    tb.connect("l0", node1, node2)
+    if rll:
+        from repro.rll import RllLayer
+
+        for host in (node1, node2):
+            layer = RllLayer(tb.sim)
+            host.chain.splice_above_driver(layer)
+            tb.rll_layers[host.name] = layer
+    receiver = BulkReceiver(node2, 0x4000)
+    sender = BulkSender(node1, node2.ip, 0x4000, TRANSFER, local_port=0x6000)
+    tb.sim.run_until(seconds(30))
+    return {
+        "goodput_mbps": receiver.goodput_bps() / 1e6,
+        "tcp_rtx": sender.connection.retransmissions,
+        "rll_rtx": sum(l.retransmissions for l in tb.rll_layers.values()),
+        "fcs_drops": node1.nic.fcs_drops + node2.nic.fcs_drops,
+        "complete": receiver.bytes_received == TRANSFER,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    # ~1.7% frame-loss probability for a 1078-byte frame: noisy enough to
+    # visibly hurt Tahoe, mild enough that both configurations finish.
+    noisy_ber = 2e-6
+    cells = {
+        ("clean", False): run_transfer(False, 0.0),
+        ("clean", True): run_transfer(True, 0.0),
+        ("noisy", False): run_transfer(False, noisy_ber),
+        ("noisy", True): run_transfer(True, noisy_ber),
+    }
+    lines = [f"{'wire':>6} {'rll':>5} {'goodput':>9} {'tcp rtx':>8} {'rll rtx':>8} {'fcs drops':>10}"]
+    for (wire, rll), cell in cells.items():
+        lines.append(
+            f"{wire:>6} {str(rll):>5} {cell['goodput_mbps']:>8.1f}M "
+            f"{cell['tcp_rtx']:>8} {cell['rll_rtx']:>8} {cell['fcs_drops']:>10}"
+        )
+    save_table("rll_ablation", "\n".join(lines))
+    return cells
+
+
+class TestRllAblation:
+    def test_noisy_wire_without_rll_hurts_tcp(self, benchmark, results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        cell = results[("noisy", False)]
+        assert cell["fcs_drops"] > 0
+        assert cell["tcp_rtx"] > 0  # the protocol under test saw the noise
+
+    def test_noisy_wire_with_rll_fully_masked(self, benchmark, results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        cell = results[("noisy", True)]
+        assert cell["fcs_drops"] > 0  # the noise happened...
+        assert cell["tcp_rtx"] == 0  # ...but TCP never saw it
+        assert cell["rll_rtx"] > 0  # because the RLL absorbed it
+        assert cell["complete"]
+
+    def test_clean_wire_rll_cost_is_modest(self, benchmark, results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        plain = results[("clean", False)]["goodput_mbps"]
+        with_rll = results[("clean", True)]["goodput_mbps"]
+        loss = (plain - with_rll) / plain
+        assert 0 <= loss < 0.15, f"RLL costs {loss:.1%} goodput on a clean wire"
+
+    def test_all_transfers_complete(self, benchmark, results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert all(cell["complete"] for cell in results.values())

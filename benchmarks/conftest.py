@@ -1,0 +1,19 @@
+"""Shared benchmark utilities: result-table persistence."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(name: str, text: str) -> None:
+    """Persist a rendered result table and echo it to stdout.
+
+    Tables land in benchmarks/results/ so EXPERIMENTS.md can reference the
+    latest regeneration of each figure.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: inject a packet drop into a UDP flow and verify the effect.
+
+Builds the smallest possible testbed (two hosts on a 100 Mbps switch),
+writes a five-rule FSL scenario that drops the third, fourth and fifth
+probe of a UDP echo session at the receiver, and lets the analysis half of
+the same script verify — from the wire, with no instrumentation of the
+echo code — that exactly three probes went unanswered.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Testbed, seconds
+from repro.workloads import EchoClient, EchoServer
+
+SCRIPT_TEMPLATE = """
+FILTER_TABLE
+  /* UDP to port 7 = echo probes; UDP from port 7 = echo replies.     */
+  /* Offsets per the paper: 14B Ethernet + 20B IPv4 puts UDP at 34.   */
+  udp_probe: (12 2 0x0800), (23 1 0x11), (36 2 0x0007)
+  udp_echo:  (12 2 0x0800), (23 1 0x11), (34 2 0x0007)
+END
+{node_table}
+SCENARIO drop_three_probes
+  ProbesIn: (udp_probe, node1, node2, RECV)
+  Replies:  (udp_echo,  node2, node1, RECV)
+
+  /* Fault injection: the server never sees probes 3..5.  The counter
+     update precedes the fault check, so the packet that takes ProbesIn
+     to 3 is itself the first one dropped.                             */
+  ((ProbesIn > 2) && (ProbesIn <= 5)) >> DROP udp_probe, node1, node2, RECV;
+
+  /* Analysis: with 10 probes sent and 3 dropped, more than 7 replies
+     means the fault did not bite, so flag an error.                  */
+  ((Replies > 7)) >> FLAG_ERROR;
+END
+"""
+
+
+def main() -> None:
+    testbed = Testbed(seed=42)
+    node1 = testbed.add_host("node1")
+    node2 = testbed.add_host("node2")
+    testbed.add_switch("sw0")
+    testbed.connect("sw0", node1, node2)
+    testbed.install_virtualwire(control="node1")
+
+    script = SCRIPT_TEMPLATE.format(node_table=testbed.node_table_fsl())
+    server = EchoServer(node2)
+    state = {}
+
+    def workload() -> None:
+        client = EchoClient(
+            node1, node2.ip, probes=10, payload_size=256, timeout_ns=seconds(0.2)
+        )
+        state["client"] = client
+        client.start()
+
+    report = testbed.run_scenario(script, workload=workload, max_time=seconds(30))
+    client = state["client"]
+
+    print(report.render())
+    print()
+    print(f"probes sent      : {client.probes_target}")
+    print(f"echoes received  : {len(client.rtts_ns)}")
+    print(f"probe timeouts   : {client.timeouts}")
+    print(f"server echoed    : {server.echoed}")
+    dropped = report.engine_stats["node2"]["packets_dropped"]
+    print(f"engine dropped   : {dropped} (at node2, on RECV — per the script)")
+    assert report.passed and client.timeouts == 3 and dropped == 3
+    print("\nquickstart OK: the fault bit exactly three probes, "
+          "and the analysis script confirmed it from the wire.")
+
+
+if __name__ == "__main__":
+    main()

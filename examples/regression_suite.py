@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Script reuse across implementation versions — the paper's core pitch.
+
+The abstract promises that "fault specifications can be reused across
+versions of a protocol implementation".  This example runs the *unchanged*
+Fig 5 script against seven versions of the TCP congestion-control module:
+the correct Tahoe algorithm, a conforming Reno alternative, plus five
+seeded bugs.  No test code changes
+between runs — only the implementation under test does — and the script's
+verdict separates the conforming versions from the broken ones.
+
+Note the FrozenWindow row: its bug makes the sender strictly *more*
+conservative, which the window-safety invariant deliberately does not
+reject.  The FAE checks what the script says — nothing more — so an
+overly-timid implementation needs a throughput-oriented scenario instead.
+
+Run:  python examples/regression_suite.py
+"""
+
+from repro import Testbed, seconds
+from repro.scripts import tcp_congestion_script
+from repro.tcp import VARIANTS
+
+SENDER_PORT = 0x6000
+RECEIVER_PORT = 0x4000
+
+#: variant name -> should the Fig 5 window invariant flag it?
+EXPECTED_FLAGGED = {
+    "tahoe": False,
+    "reno": False,  # a second conforming version: fast recovery
+    "bug-no-congestion-avoidance": True,
+    "bug-ignores-ssthresh-reset": True,
+    "bug-aggressive-slow-start": True,
+    "bug-eager-congestion-avoidance": True,
+    "bug-frozen-window": False,  # conservative: violates nothing the script checks
+}
+
+
+def run_one(variant_name: str):
+    variant = VARIANTS[variant_name]
+    testbed = Testbed(seed=7)
+    node1 = testbed.add_host("node1")
+    node2 = testbed.add_host("node2")
+    testbed.add_switch("sw0")
+    testbed.connect("sw0", node1, node2)
+    testbed.install_virtualwire(control="node1")
+    script = tcp_congestion_script(testbed.node_table_fsl())
+
+    def workload() -> None:
+        node2.tcp.listen(RECEIVER_PORT)
+        conn = node1.tcp.connect(
+            node2.ip, RECEIVER_PORT, local_port=SENDER_PORT, congestion=variant()
+        )
+        conn.on_established = lambda: conn.send(bytes(64 * 1024))
+
+    return testbed.run_scenario(script, workload=workload, max_time=seconds(60))
+
+
+def main() -> None:
+    print(f"{'implementation under test':<34} {'verdict':<8} {'errors':<7} expected")
+    print("-" * 66)
+    all_as_expected = True
+    for name, should_flag in EXPECTED_FLAGGED.items():
+        report = run_one(name)
+        flagged = bool(report.errors)
+        ok = flagged == should_flag
+        all_as_expected &= ok
+        print(
+            f"{name:<34} {'PASS' if report.passed else 'FAIL':<8} "
+            f"{len(report.errors):<7} "
+            f"{'flagged' if should_flag else 'clean':<8} "
+            f"{'✓' if ok else '✗ UNEXPECTED'}"
+        )
+    assert all_as_expected
+    print("\nregression suite OK: one script, six implementations, "
+          "zero test-code changes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network access, so
+PEP 517/660 editable installs (which need bdist_wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,226 @@
+"""Command-line interface: inspect and lint FSL scripts.
+
+The paper's front-end accepts scripts "through a command line interface"
+(§5.1).  This module provides that surface for the reproduction::
+
+    python -m repro check  scenario.fsl            # parse + compile
+    python -m repro tables scenario.fsl            # dump the six tables
+    python -m repro lint   scenario.fsl --strict   # static analysis
+
+Running scenarios needs a testbed, which is Python code by design (see
+examples/); the CLI covers the script-authoring loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.fsl import compile_text, parse_script
+from .core.lint import Severity, lint_program
+from .core.tables import CompiledProgram, CounterKind, TermMode, VarRef
+from .errors import FslError, ReproError
+from .sim import format_time
+
+
+def _load(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+
+
+def render_summary(program: CompiledProgram) -> str:
+    sizes = program.table_sizes()
+    timeout = (
+        format_time(program.timeout_ns) if program.timeout_ns else "none (quiescence)"
+    )
+    lines = [
+        f"scenario  : {program.scenario_name}",
+        f"timeout   : {timeout}",
+        "tables    : "
+        + ", ".join(f"{name}={count}" for name, count in sizes.items()),
+        f"nodes     : {', '.join(program.nodes.names())}",
+    ]
+    return "\n".join(lines)
+
+
+def render_tables(program: CompiledProgram) -> str:
+    lines = [render_summary(program), "", "FILTER TABLE (scan order)"]
+    for position, entry in enumerate(program.filters.entries):
+        tuples = ", ".join(
+            f"({t.offset} {t.nbytes}"
+            + (f" {t.mask:#x}" if t.mask is not None else "")
+            + (
+                f" {t.pattern.name}"
+                if isinstance(t.pattern, VarRef)
+                else f" {t.pattern:#x}"
+            )
+            + ")"
+            for t in entry.tuples
+        )
+        lines.append(f"  [{position}] {entry.name}: {tuples}")
+    lines.append("")
+    lines.append("NODE TABLE")
+    for entry in program.nodes.entries:
+        lines.append(f"  {entry.name}: {entry.mac} {entry.ip}")
+    lines.append("")
+    lines.append("COUNTER TABLE")
+    for counter in program.counters:
+        if counter.kind is CounterKind.EVENT:
+            spec = (
+                f"({counter.pkt_type}, {counter.src_node} -> "
+                f"{counter.dst_node}, {counter.direction.value})"
+            )
+            armed = "armed" if counter.initially_enabled else "disabled at start"
+            detail = f"{spec}, home {counter.home_node}, {armed}"
+        else:
+            detail = f"local variable on {counter.home_node}"
+        subs = (
+            f", mirrored to {sorted(counter.mirror_subscribers)}"
+            if counter.mirror_subscribers
+            else ""
+        )
+        lines.append(f"  [{counter.counter_id}] {counter.name}: {detail}{subs}")
+    lines.append("")
+    lines.append("TERM TABLE")
+    for term in program.terms:
+        def operand(op):
+            if op.is_counter:
+                return program.counters[op.counter_id].name
+            return str(op.constant)
+
+        mode = (
+            f"evaluated at {term.home_node}, status to "
+            f"{sorted(n for n in term.consumer_nodes if n != term.home_node) or 'local'}"
+            if term.mode is TermMode.LOCAL_BROADCAST
+            else f"mirrored values, evaluated at {sorted(term.consumer_nodes)}"
+        )
+        lines.append(
+            f"  [{term.term_id}] {operand(term.lhs)} {term.op.value} "
+            f"{operand(term.rhs)}  ({mode})"
+        )
+    lines.append("")
+    lines.append("CONDITION / ACTION TABLES")
+    for condition in program.conditions:
+        kind = "TRUE rule" if condition.is_true_rule else f"line {condition.line}"
+        lines.append(f"  [{condition.condition_id}] ({kind})")
+        for node, action_id in condition.triggers:
+            action = program.actions[action_id]
+            extras = []
+            if action.counter_id is not None:
+                extras.append(program.counters[action.counter_id].name)
+                if action.kind.value in ("INCR_CNTR", "DECR_CNTR", "ASSIGN_CNTR"):
+                    extras.append(str(action.value))
+            if action.is_packet_fault:
+                extras.append(
+                    f"{action.pkt_type}, {action.src_node} -> {action.dst_node}, "
+                    f"{action.direction.value}"
+                )
+                if action.kind.value == "DELAY":
+                    extras.append(format_time(action.delay_ns))
+            detail = f"({', '.join(extras)})" if extras else ""
+            lines.append(
+                f"      -> [{action_id}] {action.kind.value}{detail} @ {node}"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_check(args: argparse.Namespace, out) -> int:
+    program = compile_text(_load(args.script), args.scenario)
+    print(render_summary(program), file=out)
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace, out) -> int:
+    program = compile_text(_load(args.script), args.scenario)
+    print(render_tables(program), file=out)
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace, out) -> int:
+    program = compile_text(_load(args.script), args.scenario)
+    findings = lint_program(program)
+    for finding in findings:
+        print(finding.render(), file=out)
+    if not findings:
+        print("clean: no findings", file=out)
+        return 0
+    if args.strict and any(
+        not finding.severity < Severity.WARNING for finding in findings
+    ):
+        return 1
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace, out) -> int:
+    script = parse_script(_load(args.script))
+    for scenario in script.scenarios:
+        timeout = format_time(scenario.timeout_ns) if scenario.timeout_ns else "-"
+        print(
+            f"{scenario.name}  (counters={len(scenario.counters)}, "
+            f"rules={len(scenario.rules)}, timeout={timeout})",
+            file=out,
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VirtualWire reproduction: FSL script tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and compile a script")
+    check.add_argument("script")
+    check.add_argument("--scenario", default=None)
+    check.set_defaults(handler=cmd_check)
+
+    tables = sub.add_parser("tables", help="dump the compiled six tables")
+    tables.add_argument("script")
+    tables.add_argument("--scenario", default=None)
+    tables.set_defaults(handler=cmd_tables)
+
+    lint = sub.add_parser("lint", help="static analysis of a script")
+    lint.add_argument("script")
+    lint.add_argument("--scenario", default=None)
+    lint.add_argument(
+        "--strict", action="store_true", help="exit 1 on warnings"
+    )
+    lint.set_defaults(handler=cmd_lint)
+
+    scenarios = sub.add_parser("scenarios", help="list a script's scenarios")
+    scenarios.add_argument("script")
+    scenarios.set_defaults(handler=cmd_scenarios)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except BrokenPipeError:
+        return 0  # the consumer (e.g. `| head`) closed the pipe: fine
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    except (FslError, ReproError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

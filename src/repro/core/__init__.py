@@ -1,0 +1,90 @@
+"""VirtualWire itself: the paper's primary contribution.
+
+FSL (the Fault Specification Language), the six-table compiler, the
+per-node Fault Injection and Analysis Engine, the raw-Ethernet control
+plane, the programming front-end, and the :class:`Testbed` facade.
+"""
+
+from .audit import AuditEvent, AuditLog
+from .autogen import MessageFlow, ProtocolSpec, ScriptGenerator, rether_spec
+from .classify import Classifier, VarStore
+from .control import ControlMessage, ControlType
+from .lint import Finding, Severity, lint_program, lint_text
+from .matrix import FaultMatrix, MatrixCell, MatrixReport
+from .engine import EngineStats, VirtualWireEngine
+from .frontend import DEFAULT_INACTIVITY_NS, Frontend
+from .fsl import compile_script, compile_text, parse_script
+from .report import EndReason, ErrorRecord, ScenarioReport
+from .runtime import EventStats, NodeRuntime
+from .tables import (
+    ActionKind,
+    ActionSpec,
+    CompiledProgram,
+    ConditionExpr,
+    ConditionSpec,
+    CounterKind,
+    CounterSpec,
+    Direction,
+    FilterEntry,
+    FilterTable,
+    FilterTuple,
+    NodeEntry,
+    NodeTable,
+    Operand,
+    RelOp,
+    TermMode,
+    TermSpec,
+    VarRef,
+)
+from .testbed import Testbed
+
+__all__ = [
+    "ActionKind",
+    "AuditEvent",
+    "AuditLog",
+    "ActionSpec",
+    "Classifier",
+    "CompiledProgram",
+    "ConditionExpr",
+    "ConditionSpec",
+    "ControlMessage",
+    "ControlType",
+    "CounterKind",
+    "CounterSpec",
+    "DEFAULT_INACTIVITY_NS",
+    "Direction",
+    "EndReason",
+    "EngineStats",
+    "ErrorRecord",
+    "EventStats",
+    "FaultMatrix",
+    "Finding",
+    "MatrixCell",
+    "MatrixReport",
+    "MessageFlow",
+    "ProtocolSpec",
+    "ScriptGenerator",
+    "Severity",
+    "lint_program",
+    "lint_text",
+    "rether_spec",
+    "FilterEntry",
+    "FilterTable",
+    "FilterTuple",
+    "Frontend",
+    "NodeEntry",
+    "NodeRuntime",
+    "NodeTable",
+    "Operand",
+    "RelOp",
+    "ScenarioReport",
+    "TermMode",
+    "TermSpec",
+    "Testbed",
+    "VarRef",
+    "VarStore",
+    "VirtualWireEngine",
+    "compile_script",
+    "compile_text",
+    "parse_script",
+]

@@ -1,0 +1,80 @@
+"""Execution audit trail for the FIE/FAE.
+
+The paper contrasts VirtualWire with "collecting tcpdump traces and
+inspecting them manually" (§1) — but when a scenario misbehaves, the
+tester still needs to see *why* the engine did what it did.  The audit
+log records the engine-level narrative: which conditions fired where and
+when, which faults were applied to which packets, and the verdict events —
+a rule-level account that complements the packet-level
+:class:`repro.trace.TraceRecorder`.
+
+Auditing is off by default and costs nothing when disabled (a None check
+on the hot path).  Enable it via ``Testbed.install_virtualwire(audit=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..sim import Simulator, format_time
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One engine decision."""
+
+    time_ns: int
+    node: str
+    kind: str  # "condition" | "fault" | "fail" | "stop" | "error" | "start"
+    detail: str
+
+    def render(self) -> str:
+        return f"{format_time(self.time_ns):>14} {self.node:<10} {self.kind:<10} {self.detail}"
+
+
+class AuditLog:
+    """Append-only, bounded log shared by every engine of a testbed."""
+
+    def __init__(self, sim: Simulator, max_events: int = 100_000) -> None:
+        self.sim = sim
+        self.max_events = max_events
+        self.events: List[AuditEvent] = []
+        self.dropped = 0
+
+    def record(self, node: str, kind: str, detail: str) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(AuditEvent(self.sim.now, node, kind, detail))
+
+    def recorder_for(self, node: str) -> Callable[[str, str], None]:
+        """A per-node closure the engine hands to its runtime."""
+
+        def record(kind: str, detail: str) -> None:
+            self.record(node, kind, detail)
+
+        return record
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def select(
+        self, kind: Optional[str] = None, node: Optional[str] = None
+    ) -> List[AuditEvent]:
+        return [
+            event
+            for event in self.events
+            if (kind is None or event.kind == kind)
+            and (node is None or event.node == node)
+        ]
+
+    def render(self, kind: Optional[str] = None) -> str:
+        events = self.select(kind=kind)
+        return "\n".join(event.render() for event in events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

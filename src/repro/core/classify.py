@@ -1,0 +1,95 @@
+"""Packet classification against the filter and node tables.
+
+Classification reproduces the engine's behaviour exactly as measured in the
+paper's Fig 8: a **linear scan** through the packet definitions in script
+order, first match wins (§6.1: "the priority of the filter rules is in
+descending order of occurrence").  The scan count is returned so the
+engine's cost model can charge the per-entry comparison time.
+
+Filter tuples with a VAR pattern bind on first match (node-locally) and
+compare for equality afterwards — the mechanism behind the paper's
+retransmission detectors (Fig 2, ``TCP_data_rt1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .tables import FilterEntry, FilterTable, FilterTuple, VarRef
+
+
+class VarStore:
+    """Run-time bindings of the script's VAR declarations (node-local)."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, int] = {}
+
+    def get(self, name: str) -> Optional[int]:
+        return self._bindings.get(name)
+
+    def bind(self, name: str, value: int) -> None:
+        self._bindings[name] = value
+
+    def clear(self) -> None:
+        self._bindings.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._bindings)
+
+
+class Classifier:
+    """Stateful classifier: a filter table plus this node's VAR bindings."""
+
+    def __init__(self, filters: FilterTable) -> None:
+        self.filters = filters
+        self.vars = VarStore()
+        self.packets_classified = 0
+        self.packets_unmatched = 0
+        self.entries_scanned_total = 0
+
+    def classify(self, data: bytes) -> Tuple[Optional[str], int]:
+        """Return (packet type name or None, filter entries scanned)."""
+        scanned = 0
+        for entry in self.filters.entries:
+            scanned += 1
+            bindings = self._match(entry, data)
+            if bindings is not None:
+                for name, value in bindings.items():
+                    self.vars.bind(name, value)
+                self.packets_classified += 1
+                self.entries_scanned_total += scanned
+                return entry.name, scanned
+        self.packets_unmatched += 1
+        self.entries_scanned_total += scanned
+        return None, scanned
+
+    def _match(self, entry: FilterEntry, data: bytes) -> Optional[Dict[str, int]]:
+        """All tuples must match; returns new VAR bindings or None."""
+        new_bindings: Dict[str, int] = {}
+        for tup in entry.tuples:
+            value = _read_field(data, tup)
+            if value is None:
+                return None
+            if isinstance(tup.pattern, VarRef):
+                bound = self.vars.get(tup.pattern.name)
+                if bound is None:
+                    bound = new_bindings.get(tup.pattern.name)
+                if bound is None:
+                    new_bindings[tup.pattern.name] = value
+                elif value != bound:
+                    return None
+            else:
+                pattern = tup.pattern
+                if tup.mask is not None:
+                    if value & tup.mask != pattern & tup.mask:
+                        return None
+                elif value != pattern:
+                    return None
+        return new_bindings
+
+
+def _read_field(data: bytes, tup: FilterTuple) -> Optional[int]:
+    end = tup.offset + tup.nbytes
+    if end > len(data):
+        return None
+    return int.from_bytes(data[tup.offset : end], "big")

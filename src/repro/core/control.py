@@ -1,0 +1,85 @@
+"""The VirtualWire control-plane protocol (paper §5.2).
+
+Control messages ride as payloads of raw Ethernet frames with the
+experimental EtherType 0x88B5.  They carry scenario orchestration
+(INIT/START/SHUTDOWN), the distributed-evaluation state exchange
+(COUNTER_UPDATE, TERM_STATUS), and result reporting (ERROR_REPORT,
+STOP_REPORT) back to the control node.
+
+Counter values are signed 64-bit: scripts may drive a counter negative
+(the Fig 5 invariant is literally ``CanTx < 0``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ControlPlaneError
+from ..net.bytesutil import pack_u16, read_u16
+from ..net.frame import ETHERTYPE_VW_CONTROL, EthernetFrame
+
+
+class ControlType(enum.Enum):
+    INIT = 1
+    INIT_ACK = 2
+    START = 3
+    SHUTDOWN = 4
+    COUNTER_UPDATE = 5
+    TERM_STATUS = 6
+    ERROR_REPORT = 7
+    STOP_REPORT = 8
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """A decoded control-plane message.
+
+    Field use by type:
+
+    ========== ================ ================
+    type       a                b
+    ========== ================ ================
+    INIT       program id       table checksum
+    INIT_ACK   program id       0
+    START      program id       0
+    SHUTDOWN   program id       0
+    COUNTER_UPDATE counter id   value (signed)
+    TERM_STATUS    term id      0/1
+    ERROR_REPORT   condition id action id
+    STOP_REPORT    condition id 0
+    ========== ================ ================
+    """
+
+    msg_type: ControlType
+    a: int = 0
+    b: int = 0
+
+    def to_payload(self) -> bytes:
+        return (
+            bytes([self.msg_type.value])
+            + pack_u16(self.a)
+            + self.b.to_bytes(8, "big", signed=True)
+        )
+
+    def wrap(self, dst, src) -> EthernetFrame:
+        return EthernetFrame(dst, src, ETHERTYPE_VW_CONTROL, self.to_payload())
+
+    @classmethod
+    def parse(cls, payload: bytes) -> "ControlMessage":
+        if len(payload) < 11:
+            raise ControlPlaneError(
+                f"control payload of {len(payload)} bytes is too short"
+            )
+        try:
+            msg_type = ControlType(payload[0])
+        except ValueError:
+            raise ControlPlaneError(f"unknown control type {payload[0]}") from None
+        return cls(
+            msg_type=msg_type,
+            a=read_u16(payload, 1),
+            b=int.from_bytes(payload[3:11], "big", signed=True),
+        )
+
+    def __repr__(self) -> str:
+        return f"ControlMessage({self.msg_type.name}, a={self.a}, b={self.b})"

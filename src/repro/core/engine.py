@@ -1,0 +1,370 @@
+"""The Fault Injection and Analysis Engine (FIE/FAE) — paper §3.3, §5.2.
+
+One :class:`VirtualWireEngine` is spliced into each testbed node's frame
+chain between the device driver (or the RLL, when enabled) and the IP
+stack — our equivalent of the paper's Netfilter hook.  It intercepts every
+frame in both directions and runs the Fig 4(b) control flow: classify →
+update counters → evaluate terms/conditions → trigger actions, where a
+fault-type action may consume, hold, duplicate or rewrite the very packet
+being processed, and counter-type actions release it.
+
+The engine also terminates the control plane: INIT/START/SHUTDOWN
+orchestration from the front-end, COUNTER_UPDATE/TERM_STATUS state exchange
+with peer engines, and ERROR/STOP reports back to the control node.
+
+Processing cost is charged in virtual time — a base cost per intercepted
+packet, a per-filter-entry comparison cost (the linear scan of Fig 8), and
+per-table-touch/per-action costs — serialised through a per-engine
+busy-until clock so bursts queue behind each other like they would on one
+CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import ControlPlaneError
+from ..net.bytesutil import read_u16
+from ..net.frame import ETHERTYPE_VW_CONTROL, EthernetFrame
+from ..stack.layers import FrameLayer
+from .classify import Classifier
+from .control import ControlMessage, ControlType
+from .faults import DelayQueue, ReorderBuffer, apply_modify
+from .runtime import EventStats, NodeRuntime, RuntimeHooks
+from .tables import ActionKind, CompiledProgram, Direction
+
+
+class EngineStats:
+    """Counters describing everything an engine did during a scenario."""
+
+    __slots__ = (
+        "packets_intercepted",
+        "packets_classified",
+        "packets_dropped",
+        "packets_delayed",
+        "packets_reordered",
+        "packets_duplicated",
+        "packets_modified",
+        "control_frames_sent",
+        "control_frames_received",
+        "state_frames_sent",
+        "filter_entries_scanned",
+        "cost_charged_ns",
+    )
+
+    def __init__(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+
+class VirtualWireEngine(FrameLayer, RuntimeHooks):
+    """The per-node FIE/FAE, implemented as a splice-in frame layer."""
+
+    def __init__(self, sim) -> None:
+        FrameLayer.__init__(self, "virtualwire")
+        self.sim = sim
+        self.program: Optional[CompiledProgram] = None
+        self.runtime: Optional[NodeRuntime] = None
+        self.classifier: Optional[Classifier] = None
+        self.enabled = False
+        self.control_mac = None
+        #: shared with the front-end: program id -> CompiledProgram.
+        self.program_registry: Dict[int, CompiledProgram] = {}
+        #: set on the control node's engine only.
+        self.frontend = None
+        #: out-of-band activity ping for the inactivity timeout (see
+        #: DESIGN.md: orchestration bookkeeping, not protocol traffic).
+        self.activity_hook: Optional[Callable[[], None]] = None
+        #: optional shared audit trail (repro.core.audit.AuditLog).
+        self.audit_log = None
+        self.stats = EngineStats()
+        self._busy_until = 0
+        self._delay_queue = DelayQueue(sim, self._forward)
+        self._reorder_buffer = ReorderBuffer(sim, self._forward)
+        self._modify_rng = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attached(self) -> None:
+        self._modify_rng = self.sim.random.stream(f"fault:modify:{self.host.name}")
+
+    @property
+    def node_name(self) -> str:
+        return self.host.name if self.host is not None else "?"
+
+    def install_program(self, program: CompiledProgram) -> None:
+        """Load the six tables (normally driven by an INIT control frame)."""
+        self.program = program
+        self.stats = EngineStats()
+        self._busy_until = 0
+        if self.node_name in program.nodes:
+            self.runtime = NodeRuntime(self.node_name, program, hooks=self)
+            self.classifier = Classifier(program.filters)
+            if self.audit_log is not None:
+                self.runtime.audit = self.audit_log.recorder_for(self.node_name)
+        else:
+            # Not a scenario node (e.g. a dedicated control host): the
+            # engine only relays control traffic.
+            self.runtime = None
+            self.classifier = None
+
+    def start_scenario(self) -> None:
+        self.enabled = True
+        if self.runtime is not None:
+            self.runtime.start()
+
+    def disable(self) -> None:
+        self.enabled = False
+        self._reorder_buffer.flush()
+
+    # ------------------------------------------------------------------
+    # Frame path
+    # ------------------------------------------------------------------
+
+    def on_send(self, frame_bytes: bytes) -> None:
+        if not self.enabled or self.runtime is None or _is_control(frame_bytes):
+            self.pass_down(frame_bytes)
+            return
+        self._process(frame_bytes, Direction.SEND)
+
+    def on_receive(self, frame_bytes: bytes) -> None:
+        if _is_control(frame_bytes):
+            self._handle_control(frame_bytes)
+            return
+        if not self.enabled or self.runtime is None:
+            self.pass_up(frame_bytes)
+            return
+        self._process(frame_bytes, Direction.RECV)
+
+    def _process(self, data: bytes, direction: Direction) -> None:
+        self.stats.packets_intercepted += 1
+        costs = self.host.costs
+        pkt_type, scanned = self.classifier.classify(data)
+        self.stats.filter_entries_scanned += scanned
+        cost = costs.engine_base_ns + scanned * costs.filter_match_ns
+        if pkt_type is None:
+            self._forward_after(cost, data, direction)
+            return
+        self.stats.packets_classified += 1
+        src_node, dst_node = self._endpoints(data)
+        event = self.runtime.on_classified_packet(pkt_type, src_node, dst_node, direction)
+        if self.activity_hook is not None:
+            self.activity_hook()
+        cost += self._event_cost(event)
+
+        duplicate = False
+        for action in self.runtime.armed_faults(pkt_type, src_node, dst_node, direction):
+            kind = action.kind
+            if self.audit_log is not None:
+                self.audit_log.record(
+                    self.node_name,
+                    "fault",
+                    f"{kind.value} applied to {pkt_type} "
+                    f"({src_node} -> {dst_node}, {direction.value})",
+                )
+            if kind is ActionKind.DROP:
+                self.stats.packets_dropped += 1
+                self._charge(cost)
+                return
+            if kind is ActionKind.DELAY:
+                self.stats.packets_delayed += 1
+                self._charge(cost)
+                self._delay_queue.hold(data, direction, action.delay_ns)
+                return
+            if kind is ActionKind.REORDER:
+                self.stats.packets_reordered += 1
+                self._charge(cost)
+                self._reorder_buffer.hold(action, data, direction)
+                return
+            if kind is ActionKind.MODIFY:
+                self.stats.packets_modified += 1
+                data = apply_modify(action, data, self._modify_rng)
+            elif kind is ActionKind.DUP:
+                self.stats.packets_duplicated += 1
+                duplicate = True
+        self._forward_after(cost, data, direction, duplicate)
+
+    def _endpoints(self, data: bytes):
+        nodes = self.program.nodes
+        src = nodes.by_mac(_mac_at(data, 6))
+        dst = nodes.by_mac(_mac_at(data, 0))
+        return (src.name if src else None, dst.name if dst else None)
+
+    def _event_cost(self, event: EventStats) -> int:
+        costs = self.host.costs
+        touches = event.counter_touches + event.terms_evaluated + event.conditions_evaluated
+        return touches * costs.table_touch_ns + event.actions_fired * costs.action_ns
+
+    # -- cost-model forwarding -------------------------------------------
+
+    def _charge(self, cost_ns: int) -> int:
+        """Occupy the engine CPU for *cost_ns*; returns the release time."""
+        release = max(self.sim.now, self._busy_until) + cost_ns
+        self._busy_until = release
+        self.stats.cost_charged_ns += cost_ns
+        return release
+
+    def _forward_after(
+        self, cost_ns: int, data: bytes, direction: Direction, duplicate: bool = False
+    ) -> None:
+        release = self._charge(cost_ns)
+
+        def emit() -> None:
+            self._forward(data, direction)
+            if duplicate:
+                self._forward(data, direction)
+
+        if release <= self.sim.now:
+            emit()
+        else:
+            self.sim.at(release, emit, "vw:forward")
+
+    def _forward(self, data: bytes, direction: Direction) -> None:
+        if direction is Direction.SEND:
+            self.pass_down(data)
+        else:
+            self.pass_up(data)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def _send_control(self, dst_mac, message: ControlMessage) -> None:
+        self.stats.control_frames_sent += 1
+        frame = message.wrap(dst_mac, self.host.mac)
+        self.pass_down(frame.to_bytes())
+
+    def send_init(self, node_mac, program_id: int) -> None:
+        """Front-end API (control node only): ship the tables to a node."""
+        self._send_control(node_mac, ControlMessage(ControlType.INIT, program_id))
+
+    def send_start(self, node_mac, program_id: int) -> None:
+        self._send_control(node_mac, ControlMessage(ControlType.START, program_id))
+
+    def send_shutdown(self, node_mac, program_id: int) -> None:
+        self._send_control(node_mac, ControlMessage(ControlType.SHUTDOWN, program_id))
+
+    def _handle_control(self, frame_bytes: bytes) -> None:
+        self.stats.control_frames_received += 1
+        frame = EthernetFrame.from_bytes(frame_bytes)
+        message = ControlMessage.parse(frame.payload)
+        handler = {
+            ControlType.INIT: self._on_init,
+            ControlType.INIT_ACK: self._on_init_ack,
+            ControlType.START: self._on_start,
+            ControlType.SHUTDOWN: self._on_shutdown,
+            ControlType.COUNTER_UPDATE: self._on_counter_update,
+            ControlType.TERM_STATUS: self._on_term_status,
+            ControlType.ERROR_REPORT: self._on_error_report,
+            ControlType.STOP_REPORT: self._on_stop_report,
+        }[message.msg_type]
+        handler(frame, message)
+
+    def _on_init(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        program = self.program_registry.get(message.a)
+        if program is None:
+            raise ControlPlaneError(
+                f"{self.node_name}: INIT for unknown program {message.a}"
+            )
+        self.control_mac = frame.src
+        self.install_program(program)
+        self._send_control(frame.src, ControlMessage(ControlType.INIT_ACK, message.a))
+
+    def _on_init_ack(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.frontend is not None:
+            self.frontend.on_init_ack(frame.src, message.a)
+
+    def _on_start(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        self.start_scenario()
+
+    def _on_shutdown(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        self.disable()
+
+    def _on_counter_update(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.runtime is not None:
+            self.runtime.on_counter_update(message.a, message.b)
+
+    def _on_term_status(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.runtime is not None:
+            self.runtime.on_term_status(message.a, bool(message.b))
+
+    def _on_error_report(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.frontend is not None:
+            node = self.program.nodes.by_mac(frame.src) if self.program else None
+            self.frontend.record_error(
+                node.name if node else str(frame.src), message.a, message.b
+            )
+
+    def _on_stop_report(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.frontend is not None:
+            node = self.program.nodes.by_mac(frame.src) if self.program else None
+            self.frontend.record_stop(node.name if node else str(frame.src), message.a)
+
+    # ------------------------------------------------------------------
+    # RuntimeHooks: outbound state exchange and reports
+    # ------------------------------------------------------------------
+
+    def send_counter_update(self, counter_id: int, value: int, nodes) -> None:
+        for node in sorted(nodes):
+            if node == self.node_name:
+                continue
+            mac = self.program.nodes.get(node).mac
+            self.stats.state_frames_sent += 1
+            self._send_control(
+                mac, ControlMessage(ControlType.COUNTER_UPDATE, counter_id, value)
+            )
+
+    def send_term_status(self, term_id: int, status: bool, nodes) -> None:
+        for node in sorted(nodes):
+            if node == self.node_name:
+                continue
+            mac = self.program.nodes.get(node).mac
+            self.stats.state_frames_sent += 1
+            self._send_control(
+                mac, ControlMessage(ControlType.TERM_STATUS, term_id, int(status))
+            )
+
+    def report_error(self, condition_id: int, action_id: int) -> None:
+        if self.frontend is not None:
+            self.frontend.record_error(self.node_name, condition_id, action_id)
+        elif self.control_mac is not None:
+            self._send_control(
+                self.control_mac,
+                ControlMessage(ControlType.ERROR_REPORT, condition_id, action_id),
+            )
+
+    def report_stop(self, condition_id: int) -> None:
+        if self.frontend is not None:
+            self.frontend.record_stop(self.node_name, condition_id)
+        elif self.control_mac is not None:
+            self._send_control(
+                self.control_mac, ControlMessage(ControlType.STOP_REPORT, condition_id)
+            )
+
+    def fail_local_host(self) -> None:
+        self.enabled = False
+        self.host.fail()
+
+    def now(self) -> int:
+        return self.sim.now
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "idle"
+        return f"VirtualWireEngine({self.node_name}, {state})"
+
+
+def _is_control(frame_bytes: bytes) -> bool:
+    return len(frame_bytes) >= 14 and read_u16(frame_bytes, 12) == ETHERTYPE_VW_CONTROL
+
+
+def _mac_at(data: bytes, offset: int):
+    from ..net.addresses import MacAddress
+
+    if len(data) < offset + 6:
+        return MacAddress(b"\x00" * 6)
+    return MacAddress(data[offset : offset + 6])

@@ -1,0 +1,104 @@
+"""Packet-fault machinery: DELAY queues, REORDER buffers, MODIFY patching.
+
+Implements the Table II packet faults with the paper's stated semantics
+(§5.2): DELAY is quantised to the 10 ms jiffy of the Linux software-timer
+facility; REORDER queues the specified number of packets and releases them
+in a burst "when the bottom half is scheduled next"; MODIFY perturbs random
+bytes unless explicit patches are given, in which case keeping checksums
+consistent is the script author's responsibility.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..net.bytesutil import patch_bytes
+from ..sim import RandomStream, Simulator, quantize_to_jiffies
+from .tables import ActionSpec, Direction
+
+#: A held packet: (frame bytes, direction it was travelling).
+_Held = Tuple[bytes, Direction]
+
+#: Forwarder the engine supplies: (frame bytes, direction) -> None.
+ForwardFn = Callable[[bytes, Direction], None]
+
+
+class DelayQueue:
+    """Holds DELAY-ed packets until their jiffy-quantised timer expires."""
+
+    def __init__(self, sim: Simulator, forward: ForwardFn) -> None:
+        self.sim = sim
+        self.forward = forward
+        self.delayed_packets = 0
+        self.in_flight = 0
+
+    def hold(self, data: bytes, direction: Direction, delay_ns: int) -> None:
+        self.delayed_packets += 1
+        self.in_flight += 1
+        quantised = quantize_to_jiffies(delay_ns)
+
+        def release() -> None:
+            self.in_flight -= 1
+            self.forward(data, direction)
+
+        self.sim.after(quantised, release, "fault:delay")
+
+
+class ReorderBuffer:
+    """Per-action buffers implementing REORDER."""
+
+    def __init__(self, sim: Simulator, forward: ForwardFn) -> None:
+        self.sim = sim
+        self.forward = forward
+        self._buffers: Dict[int, List[_Held]] = {}
+        self.reordered_bursts = 0
+        self.flushed_packets = 0
+
+    def hold(self, action: ActionSpec, data: bytes, direction: Direction) -> None:
+        buffer = self._buffers.setdefault(action.action_id, [])
+        buffer.append((data, direction))
+        if len(buffer) >= action.reorder_count:
+            self._release(action)
+
+    def _release(self, action: ActionSpec) -> None:
+        buffer = self._buffers.pop(action.action_id, [])
+        order = action.reorder_order or tuple(range(len(buffer), 0, -1))
+        self.reordered_bursts += 1
+        permuted = [buffer[i - 1] for i in order]
+
+        def burst() -> None:
+            for data, direction in permuted:
+                self.forward(data, direction)
+
+        # "Released in burst when the bottom half is scheduled next": the
+        # next simulator tick, not a jiffy later.
+        self.sim.after(1, burst, "fault:reorder-burst")
+
+    def flush(self) -> None:
+        """Release everything still buffered (scenario teardown)."""
+        for action_id in list(self._buffers):
+            buffer = self._buffers.pop(action_id)
+            self.flushed_packets += len(buffer)
+            for data, direction in buffer:
+                self.forward(data, direction)
+
+
+def apply_modify(action: ActionSpec, data: bytes, rng: RandomStream) -> bytes:
+    """Return the modified frame bytes for a MODIFY fault.
+
+    Explicit patches are applied verbatim.  With no patches, one to four
+    payload bytes (never the 14-byte Ethernet header, so the frame still
+    reaches its destination and the corruption is observable there) are
+    XOR-perturbed with non-zero values.
+    """
+    if action.patches:
+        for offset, patch in action.patches:
+            data = patch_bytes(data, offset, patch)
+        return data
+    if len(data) <= 14:
+        return data
+    mutable = bytearray(data)
+    for _ in range(rng.randint(1, min(4, len(data) - 14))):
+        offset = rng.randint(14, len(data) - 1)
+        mutable[offset] ^= rng.randint(1, 255)
+    return bytes(mutable)

@@ -1,0 +1,231 @@
+"""The programming front-end on the control node (paper §3.2, §5.1).
+
+The front-end parses the user's FSL script, compiles it into the six
+tables, ships them to every participating FIE/FAE over the control plane
+(INIT, acknowledged), broadcasts START once all nodes acknowledged, then
+watches for STOP/ERROR reports and the inactivity timeout.
+
+Like the paper's implementation, the whole table set goes to every node.
+Two orchestration shortcuts are taken relative to a multi-machine
+deployment and documented in DESIGN.md: table *contents* travel by shared
+reference (the INIT frame carries the program id), and the inactivity
+monitor reads a shared activity timestamp instead of sampling nodes over
+the network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional, Set
+
+from ..errors import ScenarioError
+from ..net.addresses import MacAddress
+from ..sim import NS_PER_MS, NS_PER_SEC, Simulator
+from .engine import VirtualWireEngine
+from .report import EndReason, ErrorRecord, ScenarioReport
+from .tables import ActionKind, CompiledProgram
+
+#: Inactivity window applied when the scenario declares no timeout.
+DEFAULT_INACTIVITY_NS = 2 * NS_PER_SEC
+#: Grace period between broadcasting START and invoking the workload.
+WORKLOAD_GRACE_NS = 1 * NS_PER_MS
+
+
+class Frontend:
+    """Scenario orchestration running on the control node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        control_engine: VirtualWireEngine,
+        engines: Dict[str, VirtualWireEngine],
+    ) -> None:
+        self.sim = sim
+        self.control_engine = control_engine
+        self.engines = dict(engines)
+        self._registry: Dict[int, CompiledProgram] = {}
+        self._program_ids = itertools.count(1)
+        control_engine.frontend = self
+        for engine in self.engines.values():
+            engine.program_registry = self._registry
+            engine.activity_hook = self.touch
+
+        # Per-scenario state.
+        self.program: Optional[CompiledProgram] = None
+        self.program_id = 0
+        self._pending_acks: Set[str] = set()
+        self.started = False
+        self.start_time = 0
+        self.last_activity = 0
+        self.errors: list = []
+        self.stop_node: Optional[str] = None
+        self.stop_time: Optional[int] = None
+        self.finished = False
+        self.end_reason: Optional[EndReason] = None
+        self.on_running: Optional[Callable[[], None]] = None
+        self.inactivity_ns = DEFAULT_INACTIVITY_NS
+
+    # ------------------------------------------------------------------
+    # Scenario lifecycle
+    # ------------------------------------------------------------------
+
+    def start_scenario(
+        self,
+        program: CompiledProgram,
+        on_running: Optional[Callable[[], None]] = None,
+        inactivity_ns: Optional[int] = None,
+    ) -> None:
+        """Distribute *program* and begin execution."""
+        for node in program.nodes.names():
+            if node not in self.engines:
+                raise ScenarioError(
+                    f"scenario references node {node!r} but no engine is "
+                    f"installed there"
+                )
+        self.program = program
+        self.program_id = next(self._program_ids)
+        self._registry[self.program_id] = program
+        self._pending_acks = set(program.nodes.names())
+        self.started = False
+        self.start_time = 0
+        self.last_activity = self.sim.now
+        self.errors = []
+        self.stop_node = None
+        self.stop_time = None
+        self.finished = False
+        self.end_reason = None
+        self.on_running = on_running
+        if inactivity_ns is not None:
+            self.inactivity_ns = inactivity_ns
+        elif program.timeout_ns > 0:
+            self.inactivity_ns = program.timeout_ns
+        else:
+            self.inactivity_ns = DEFAULT_INACTIVITY_NS
+        for node in program.nodes.names():
+            mac = program.nodes.get(node).mac
+            if self._is_control_node(mac):
+                # The control node participates too: install directly.
+                self.control_engine.install_program(program)
+                self._pending_acks.discard(node)
+            else:
+                self.control_engine.send_init(mac, self.program_id)
+        if not self._pending_acks:
+            self._broadcast_start()
+
+    def _is_control_node(self, mac: MacAddress) -> bool:
+        return self.control_engine.host is not None and mac == self.control_engine.host.mac
+
+    def on_init_ack(self, src_mac: MacAddress, program_id: int) -> None:
+        if program_id != self.program_id or self.program is None:
+            return
+        entry = self.program.nodes.by_mac(src_mac)
+        if entry is None:
+            return
+        self._pending_acks.discard(entry.name)
+        if not self._pending_acks and not self.started:
+            self._broadcast_start()
+
+    def _broadcast_start(self) -> None:
+        assert self.program is not None
+        self.started = True
+        self.start_time = self.sim.now
+        self.last_activity = self.sim.now
+        for node in self.program.nodes.names():
+            mac = self.program.nodes.get(node).mac
+            if self._is_control_node(mac):
+                self.control_engine.start_scenario()
+            else:
+                self.control_engine.send_start(mac, self.program_id)
+        if self.on_running is not None:
+            self.sim.after(WORKLOAD_GRACE_NS, self.on_running, "frontend:workload")
+
+    def shutdown(self) -> None:
+        """Broadcast SHUTDOWN so every engine stops intercepting."""
+        if self.program is None:
+            return
+        for node in self.program.nodes.names():
+            mac = self.program.nodes.get(node).mac
+            if self._is_control_node(mac):
+                self.control_engine.disable()
+            else:
+                self.control_engine.send_shutdown(mac, self.program_id)
+
+    # ------------------------------------------------------------------
+    # Reports from engines
+    # ------------------------------------------------------------------
+
+    def touch(self) -> None:
+        """A classified packet event happened somewhere in the testbed."""
+        self.last_activity = self.sim.now
+
+    def record_error(self, node: str, condition_id: int, action_id: int) -> None:
+        line = 0
+        if self.program is not None and condition_id < len(self.program.conditions):
+            line = self.program.conditions[condition_id].line
+        self.errors.append(
+            ErrorRecord(node, condition_id, action_id, self.sim.now, line)
+        )
+
+    def record_stop(self, node: str, condition_id: int) -> None:
+        if self.stop_time is None:
+            self.stop_node = node
+            self.stop_time = self.sim.now
+        self._finish(EndReason.STOP)
+
+    # ------------------------------------------------------------------
+    # Progress monitoring
+    # ------------------------------------------------------------------
+
+    def poll(self) -> None:
+        """Called by the run loop after every event: check the timeout."""
+        if self.finished or not self.started:
+            return
+        if self.sim.now - self.last_activity > self.inactivity_ns:
+            self._finish(EndReason.INACTIVITY)
+
+    def _finish(self, reason: EndReason) -> None:
+        if not self.finished:
+            self.finished = True
+            self.end_reason = reason
+            self.shutdown()
+
+    def force_finish(self, reason: EndReason) -> None:
+        """Run-loop bound reached: conclude with *reason*."""
+        self._finish(reason)
+
+    # ------------------------------------------------------------------
+    # Report assembly
+    # ------------------------------------------------------------------
+
+    def build_report(self) -> ScenarioReport:
+        assert self.program is not None, "no scenario was run"
+        expects_stop = any(
+            a.kind is ActionKind.STOP for a in self.program.actions
+        )
+        counters: Dict[str, Dict[str, int]] = {}
+        engine_stats: Dict[str, Dict[str, int]] = {}
+        for node in self.program.nodes.names():
+            engine = self.engines.get(node)
+            if engine is None:
+                continue
+            engine_stats[node] = engine.stats.as_dict()
+            if engine.runtime is not None:
+                counters[node] = engine.runtime.counters_snapshot()
+        final_counters: Dict[str, int] = {}
+        for spec in self.program.counters:
+            home_view = counters.get(spec.home_node)
+            if home_view is not None:
+                final_counters[spec.name] = home_view[spec.name]
+        return ScenarioReport(
+            scenario_name=self.program.scenario_name,
+            end_reason=self.end_reason or EndReason.QUIESCED,
+            duration_ns=self.sim.now - self.start_time if self.started else 0,
+            errors=list(self.errors),
+            stop_node=self.stop_node,
+            stop_time_ns=self.stop_time,
+            expects_stop=expects_stop,
+            declared_timeout=self.program.timeout_ns > 0,
+            counters=counters,
+            final_counters=final_counters,
+            engine_stats=engine_stats,
+        )

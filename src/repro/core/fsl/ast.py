@@ -1,0 +1,143 @@
+"""Abstract syntax tree for FSL scripts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class TupleAst:
+    """One (offset, nbytes, [mask], pattern) filter tuple; pattern is an
+
+    int or the name of a VAR bound at run time.
+    """
+
+    offset: int
+    nbytes: int
+    pattern: Union[int, str]
+    mask: Optional[int]
+    line: int
+
+
+@dataclass(frozen=True)
+class FilterDefAst:
+    name: str
+    tuples: Tuple[TupleAst, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class NodeDefAst:
+    name: str
+    mac: str
+    ip: str
+    line: int
+
+
+@dataclass(frozen=True)
+class CounterDeclAst:
+    """``NAME: (pkt, src, dst, SEND|RECV)`` or ``NAME: (node)``."""
+
+    name: str
+    args: Tuple[str, ...]
+    line: int
+
+    @property
+    def is_event(self) -> bool:
+        return len(self.args) == 4
+
+
+# -- conditions ------------------------------------------------------------
+
+
+class CondAst:
+    """Base class for condition expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TrueAst(CondAst):
+    """The literal (TRUE) initialisation condition."""
+
+
+@dataclass(frozen=True)
+class TermAst(CondAst):
+    lhs: Union[int, str]
+    op: str  # one of > < >= <= = !=
+    rhs: Union[int, str]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class NotAst(CondAst):
+    child: CondAst
+
+
+@dataclass(frozen=True)
+class AndAst(CondAst):
+    children: Tuple[CondAst, ...]
+
+
+@dataclass(frozen=True)
+class OrAst(CondAst):
+    children: Tuple[CondAst, ...]
+
+
+# -- actions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PatchAst:
+    """A MODIFY patch: write *data* at *offset*."""
+
+    offset: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class ActionAst:
+    """A primitive invocation; arguments stay syntactic until compilation."""
+
+    name: str
+    args: Tuple[object, ...]  # str idents, int literals, duration ns as
+    # ("duration", ns), int-list tuples, PatchAst
+    line: int
+
+
+@dataclass(frozen=True)
+class RuleAst:
+    condition: CondAst
+    actions: Tuple[ActionAst, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class ScenarioAst:
+    name: str
+    timeout_ns: int  # 0 = no declared timeout
+    counters: Tuple[CounterDeclAst, ...]
+    rules: Tuple[RuleAst, ...]
+    line: int
+
+
+@dataclass
+class ScriptAst:
+    """A full FSL script: declarations plus one or more scenarios."""
+
+    variables: List[str] = field(default_factory=list)
+    filters: List[FilterDefAst] = field(default_factory=list)
+    nodes: List[NodeDefAst] = field(default_factory=list)
+    scenarios: List[ScenarioAst] = field(default_factory=list)
+
+    def scenario(self, name: Optional[str] = None) -> ScenarioAst:
+        """The named scenario, or the only/first one when *name* is None."""
+        if name is None:
+            if not self.scenarios:
+                raise ValueError("script declares no scenario")
+            return self.scenarios[0]
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise ValueError(f"no scenario named {name!r}")

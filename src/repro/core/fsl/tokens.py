@@ -1,0 +1,191 @@
+"""Lexer for the Fault Specification Language.
+
+Tokenises the concrete syntax seen in the paper's Figs 2, 5 and 6:
+section keywords (``FILTER_TABLE`` .. ``END``), packet-definition tuples,
+MAC and dotted-IP literals, duration literals (``1sec``, ``250ms``),
+C-style relational/logical operators, the rule arrow ``>>``, and both
+``/* ... */`` and ``//``/``#`` comments.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ...errors import FslLexError
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    DURATION = "duration"
+    MAC = "mac"
+    IP = "ip"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    COLON = ":"
+    SEMI = ";"
+    ARROW = ">>"
+    # relational
+    GT = ">"
+    LT = "<"
+    GE = ">="
+    LE = "<="
+    EQ = "="
+    NE = "!="
+    # logical
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    value: object  # int for INT, ns for DURATION, raw text otherwise
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, line {self.line})"
+
+
+_MAC_RE = re.compile(r"[0-9a-fA-F]{2}(:[0-9a-fA-F]{2}){5}")
+_IP_RE = re.compile(r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}")
+_DURATION_RE = re.compile(r"(\d+(?:\.\d+)?)(sec|msec|usec|nsec|ms|us|ns|s)\b")
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+_INT_RE = re.compile(r"\d+")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+_DURATION_SCALE = {
+    "s": 1_000_000_000,
+    "sec": 1_000_000_000,
+    "ms": 1_000_000,
+    "msec": 1_000_000,
+    "us": 1_000,
+    "usec": 1_000,
+    "ns": 1,
+    "nsec": 1,
+}
+
+_TWO_CHAR_OPS = {
+    ">>": TokKind.ARROW,
+    ">=": TokKind.GE,
+    "<=": TokKind.LE,
+    "==": TokKind.EQ,
+    "!=": TokKind.NE,
+    "<>": TokKind.NE,
+    "&&": TokKind.AND,
+    "||": TokKind.OR,
+}
+
+_ONE_CHAR_OPS = {
+    "(": TokKind.LPAREN,
+    ")": TokKind.RPAREN,
+    "[": TokKind.LBRACKET,
+    "]": TokKind.RBRACKET,
+    ",": TokKind.COMMA,
+    ":": TokKind.COLON,
+    ";": TokKind.SEMI,
+    ">": TokKind.GT,
+    "<": TokKind.LT,
+    "=": TokKind.EQ,
+    "!": TokKind.NOT,
+}
+
+#: Word forms of the logical operators, normalised by the lexer.
+_WORD_OPS = {"AND": TokKind.AND, "OR": TokKind.OR, "NOT": TokKind.NOT}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise *text*; raises :class:`FslLexError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        # -- whitespace and comments ----------------------------------
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end < 0:
+                raise FslLexError("unterminated /* comment", line, pos - line_start + 1)
+            line += text.count("\n", pos, end)
+            if "\n" in text[pos:end]:
+                line_start = text.rfind("\n", pos, end) + 1
+            pos = end + 2
+            continue
+        if text.startswith("//", pos) or ch == "#":
+            end = text.find("\n", pos)
+            pos = n if end < 0 else end
+            continue
+
+        column = pos - line_start + 1
+
+        # -- structured literals (longest-match first) ------------------
+        match = _MAC_RE.match(text, pos)
+        if match and not _IDENT_RE.match(text, pos + len(match.group())):
+            yield Token(TokKind.MAC, match.group(), match.group(), line, column)
+            pos = match.end()
+            continue
+        match = _IP_RE.match(text, pos)
+        if match:
+            yield Token(TokKind.IP, match.group(), match.group(), line, column)
+            pos = match.end()
+            continue
+        match = _DURATION_RE.match(text, pos)
+        if match:
+            ns = int(round(float(match.group(1)) * _DURATION_SCALE[match.group(2)]))
+            yield Token(TokKind.DURATION, match.group(), ns, line, column)
+            pos = match.end()
+            continue
+        match = _HEX_RE.match(text, pos)
+        if match:
+            yield Token(TokKind.INT, match.group(), int(match.group(), 16), line, column)
+            pos = match.end()
+            continue
+        match = _INT_RE.match(text, pos)
+        if match:
+            yield Token(TokKind.INT, match.group(), int(match.group(), 10), line, column)
+            pos = match.end()
+            continue
+        match = _IDENT_RE.match(text, pos)
+        if match:
+            word = match.group()
+            kind = _WORD_OPS.get(word, TokKind.IDENT)
+            yield Token(kind, word, word, line, column)
+            pos = match.end()
+            continue
+
+        # -- operators ---------------------------------------------------
+        two = text[pos : pos + 2]
+        if two in _TWO_CHAR_OPS:
+            yield Token(_TWO_CHAR_OPS[two], two, two, line, column)
+            pos += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            yield Token(_ONE_CHAR_OPS[ch], ch, ch, line, column)
+            pos += 1
+            continue
+
+        raise FslLexError(f"unexpected character {ch!r}", line, column)
+    yield Token(TokKind.EOF, "", None, line, pos - line_start + 1)

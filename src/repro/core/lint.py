@@ -1,0 +1,260 @@
+"""Static analysis of compiled FSL programs.
+
+The paper's workflow encourages large libraries of reusable scenario
+scripts; this linter catches the silent mistakes that make a scenario
+vacuous — the testing-tool equivalent of a test that always passes:
+
+* ``unused-counter``     — declared but never read by a term nor written
+                           by an action: dead weight, often a typo;
+* ``never-counted``      — an event counter whose (pkt, src, dst, dir)
+                           spec is self-contradictory (src == dst);
+* ``shadowed-filter``    — a packet definition that can never classify
+                           because an earlier entry matches a superset of
+                           its packets (first match wins, §6.1);
+* ``constant-condition`` — a rule whose condition only references
+                           counters that nothing ever updates: it fires at
+                           START or never;
+* ``no-verdict``         — a scenario with neither FLAG_ERROR nor STOP:
+                           it can only ever time out or quiesce, verifying
+                           nothing;
+* ``unbounded-scenario`` — a scenario that expects a STOP but declares no
+                           timeout: a hung protocol stalls the run until
+                           the caller's max-time fail-safe.
+
+Findings are advisory (the engine runs any compilable script); CI-style
+users can fail on severity >= WARNING via :func:`lint_text`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Set, Union
+
+from .fsl import compile_text
+from .tables import (
+    ActionKind,
+    CompiledProgram,
+    CounterKind,
+    FilterEntry,
+    FilterTuple,
+    VarRef,
+)
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+
+    def __lt__(self, other: "Severity") -> bool:
+        order = [Severity.INFO, Severity.WARNING]
+        return order.index(self) < order.index(other)
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    severity: Severity
+    message: str
+    subject: str = ""
+
+    def render(self) -> str:
+        return f"{self.severity.value}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+
+def _written_counters(program: CompiledProgram) -> Set[int]:
+    return {
+        action.counter_id
+        for action in program.actions
+        if action.is_counter_action and action.counter_id is not None
+    }
+
+
+def _read_counters(program: CompiledProgram) -> Set[int]:
+    read: Set[int] = set()
+    for term in program.terms:
+        for operand in (term.lhs, term.rhs):
+            if operand.is_counter:
+                read.add(operand.counter_id)
+    return read
+
+
+def check_unused_counters(program: CompiledProgram) -> List[Finding]:
+    findings = []
+    touched = _read_counters(program) | _written_counters(program)
+    for counter in program.counters:
+        if counter.counter_id not in touched:
+            findings.append(
+                Finding(
+                    "unused-counter",
+                    Severity.WARNING,
+                    f"counter {counter.name!r} is declared but never used "
+                    f"by any term or action",
+                    subject=counter.name,
+                )
+            )
+    return findings
+
+
+def check_never_counted(program: CompiledProgram) -> List[Finding]:
+    findings = []
+    for counter in program.counters:
+        if counter.kind is CounterKind.EVENT and counter.src_node == counter.dst_node:
+            findings.append(
+                Finding(
+                    "never-counted",
+                    Severity.WARNING,
+                    f"event counter {counter.name!r} names the same node as "
+                    f"source and destination; no frame can match",
+                    subject=counter.name,
+                )
+            )
+    return findings
+
+
+def _tuple_implies(specific: FilterTuple, general: FilterTuple) -> bool:
+    """True when every packet satisfying *specific* satisfies *general*."""
+    if isinstance(specific.pattern, VarRef) or isinstance(general.pattern, VarRef):
+        return False
+    if (specific.offset, specific.nbytes) != (general.offset, general.nbytes):
+        return False
+    if specific.mask is None:
+        # specific pins the field exactly: general holds iff its own
+        # constraint is satisfied by that exact value.
+        if general.mask is None:
+            return specific.pattern == general.pattern
+        return specific.pattern & general.mask == general.pattern & general.mask
+    # specific constrains only its masked bits.
+    if general.mask is None:
+        return False  # general demands all bits; specific leaves some free
+    if general.mask & ~specific.mask:
+        return False  # general tests bits specific leaves free
+    return specific.pattern & general.mask == general.pattern & general.mask
+
+
+def _entry_shadows(earlier: FilterEntry, later: FilterEntry) -> bool:
+    """Conservatively true when every packet matching *later* also matches
+
+    *earlier* (and therefore never reaches *later* in the linear scan).
+    """
+    for need in earlier.tuples:
+        if not any(_tuple_implies(have, need) for have in later.tuples):
+            return False
+    return True
+
+
+def check_shadowed_filters(program: CompiledProgram) -> List[Finding]:
+    findings = []
+    entries = program.filters.entries
+    for position, later in enumerate(entries):
+        for earlier in entries[:position]:
+            if _entry_shadows(earlier, later):
+                findings.append(
+                    Finding(
+                        "shadowed-filter",
+                        Severity.WARNING,
+                        f"packet definition {later.name!r} can never match: "
+                        f"{earlier.name!r} earlier in the table matches a "
+                        f"superset of its packets (first match wins)",
+                        subject=later.name,
+                    )
+                )
+                break
+    return findings
+
+
+def check_constant_conditions(program: CompiledProgram) -> List[Finding]:
+    findings = []
+    written = _written_counters(program)
+    event_counters = {
+        c.counter_id for c in program.counters if c.kind is CounterKind.EVENT
+    }
+    dynamic = written | event_counters
+    for condition in program.conditions:
+        if condition.is_true_rule:
+            continue
+        referenced: Set[int] = set()
+        for term_id in condition.expr.term_ids():
+            term = program.terms[term_id]
+            for operand in (term.lhs, term.rhs):
+                if operand.is_counter:
+                    referenced.add(operand.counter_id)
+        if referenced and not referenced & dynamic:
+            findings.append(
+                Finding(
+                    "constant-condition",
+                    Severity.WARNING,
+                    f"rule at line {condition.line} only references "
+                    f"counters nothing ever updates: it fires at START or "
+                    f"never",
+                    subject=f"line {condition.line}",
+                )
+            )
+    return findings
+
+
+def check_verdict_sources(program: CompiledProgram) -> List[Finding]:
+    findings = []
+    kinds = {action.kind for action in program.actions}
+    if ActionKind.FLAG_ERROR not in kinds and ActionKind.STOP not in kinds:
+        findings.append(
+            Finding(
+                "no-verdict",
+                Severity.WARNING,
+                "scenario has neither FLAG_ERROR nor STOP: it cannot "
+                "express a verdict beyond 'ran to quiescence'",
+            )
+        )
+    if ActionKind.STOP in kinds and program.timeout_ns == 0:
+        findings.append(
+            Finding(
+                "unbounded-scenario",
+                Severity.INFO,
+                "scenario expects a STOP but declares no timeout; a hung "
+                "protocol will stall the run until the caller's max-time "
+                "bound",
+            )
+        )
+    return findings
+
+
+_ALL_CHECKS = (
+    check_unused_counters,
+    check_never_counted,
+    check_shadowed_filters,
+    check_constant_conditions,
+    check_verdict_sources,
+)
+
+
+def lint_program(program: CompiledProgram) -> List[Finding]:
+    """Run every check against a compiled program."""
+    findings: List[Finding] = []
+    for check in _ALL_CHECKS:
+        findings.extend(check(program))
+    return findings
+
+
+def lint_text(
+    script: str,
+    scenario: Optional[str] = None,
+    fail_on: Union[Severity, None] = None,
+) -> List[Finding]:
+    """Compile and lint FSL source.
+
+    With *fail_on* set, raises ``ValueError`` listing any finding at or
+    above that severity — the CI hook.
+    """
+    findings = lint_program(compile_text(script, scenario))
+    if fail_on is not None:
+        offending = [f for f in findings if not f.severity < fail_on]
+        if offending:
+            raise ValueError(
+                "lint failures:\n" + "\n".join(f.render() for f in offending)
+            )
+    return findings

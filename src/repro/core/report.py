@@ -1,0 +1,100 @@
+"""Scenario outcome reporting."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim import format_time
+
+
+class EndReason(enum.Enum):
+    #: a STOP action fired (the scenario's success criterion was met).
+    STOP = "stop"
+    #: the declared (or default) inactivity window elapsed.
+    INACTIVITY = "inactivity"
+    #: the run hit the caller's wall-clock bound without concluding.
+    MAX_TIME = "max-time"
+    #: the simulator ran out of events (everything quiesced).
+    QUIESCED = "quiesced"
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One FLAG_ERROR occurrence."""
+
+    node: str
+    condition_id: int
+    action_id: int
+    time_ns: int
+    line: int = 0
+
+    def render(self) -> str:
+        where = f" (script line {self.line})" if self.line else ""
+        return (
+            f"FLAG_ERROR at {format_time(self.time_ns)} on {self.node}: "
+            f"condition {self.condition_id}{where}"
+        )
+
+
+@dataclass
+class ScenarioReport:
+    """Everything the front-end learned from one scenario run."""
+
+    scenario_name: str
+    end_reason: EndReason
+    duration_ns: int
+    errors: List[ErrorRecord] = field(default_factory=list)
+    stop_node: Optional[str] = None
+    stop_time_ns: Optional[int] = None
+    #: whether the script contains a STOP action (success then requires it).
+    expects_stop: bool = False
+    #: whether the scenario declared an inactivity timeout (ending by
+    #: inactivity is then a failure — paper §6.2).
+    declared_timeout: bool = False
+    #: final counter values per node (each node's local view).
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: authoritative final counter values (taken from each counter's home).
+    final_counters: Dict[str, int] = field(default_factory=dict)
+    #: per-node engine statistics.
+    engine_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """The scenario's verdict, per the paper's semantics:
+
+        no FLAG_ERROR fired; if the script has a STOP rule it must have
+        fired; and a scenario with a declared timeout must not have ended
+        through inactivity or the time bound.
+        """
+        if self.errors:
+            return False
+        if self.expects_stop and self.stop_time_ns is None:
+            return False
+        if self.declared_timeout and self.end_reason in (
+            EndReason.INACTIVITY,
+            EndReason.MAX_TIME,
+        ):
+            return False
+        if self.end_reason is EndReason.MAX_TIME and self.expects_stop:
+            return False
+        return True
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"scenario {self.scenario_name!r}: "
+            f"{'PASS' if self.passed else 'FAIL'} "
+            f"({self.end_reason.value} after {format_time(self.duration_ns)})"
+        ]
+        if self.stop_time_ns is not None:
+            lines.append(
+                f"  STOP fired on {self.stop_node} at {format_time(self.stop_time_ns)}"
+            )
+        for error in self.errors:
+            lines.append(f"  {error.render()}")
+        for node in sorted(self.counters):
+            pairs = ", ".join(f"{k}={v}" for k, v in self.counters[node].items())
+            lines.append(f"  {node}: {pairs}")
+        return "\n".join(lines)

@@ -1,0 +1,378 @@
+"""Per-node counter/term/condition run-time (paper Fig 3 and Fig 4(b)).
+
+Each node's FIE/FAE owns a :class:`NodeRuntime` holding the execution state
+of the six tables.  The flow per classified packet is exactly the paper's
+Fig 4(b): the packet event updates counters; a counter change re-evaluates
+the terms tagged on it; term changes re-evaluate the conditions tagged on
+the terms; a condition's false→true edge triggers its actions — which may
+themselves be counter updates, feeding the same loop.
+
+Distribution (paper §5.2): a counter-vs-constant term is evaluated at the
+counter's home node and its *status* is pushed to remote consumers only on
+change; a counter-vs-counter term is evaluated at each consumer from
+mirrored counter *values* pushed on every change.  Conditions are evaluated
+at every node hosting a dependent action.  The pushes happen through the
+:class:`RuntimeHooks` the engine provides, which turn them into raw-
+Ethernet control frames.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from ..errors import EngineError
+from ..sim import NS_PER_MS
+from .tables import (
+    ActionKind,
+    ActionSpec,
+    CompiledProgram,
+    CounterKind,
+    CounterSpec,
+    Direction,
+    TermMode,
+    TermSpec,
+)
+
+#: Cascade safety valve: counter-action loops (rule A enables rule B which
+#: re-enables rule A ...) abort the event instead of hanging the simulator.
+MAX_CASCADE_STEPS = 10_000
+
+
+class RuntimeHooks:
+    """Callbacks the engine supplies; overridden per engine instance."""
+
+    def send_counter_update(self, counter_id: int, value: int, nodes: Iterable[str]) -> None:
+        raise NotImplementedError
+
+    def send_term_status(self, term_id: int, status: bool, nodes: Iterable[str]) -> None:
+        raise NotImplementedError
+
+    def report_error(self, condition_id: int, action_id: int) -> None:
+        raise NotImplementedError
+
+    def report_stop(self, condition_id: int) -> None:
+        raise NotImplementedError
+
+    def fail_local_host(self) -> None:
+        raise NotImplementedError
+
+    def now(self) -> int:
+        raise NotImplementedError
+
+
+class EventStats:
+    """Work performed while processing one packet event (for the cost model)."""
+
+    __slots__ = ("counter_touches", "actions_fired", "terms_evaluated", "conditions_evaluated")
+
+    def __init__(self) -> None:
+        self.counter_touches = 0
+        self.actions_fired = 0
+        self.terms_evaluated = 0
+        self.conditions_evaluated = 0
+
+
+class NodeRuntime:
+    """Execution state of the six tables on one node."""
+
+    def __init__(self, node_name: str, program: CompiledProgram, hooks: RuntimeHooks) -> None:
+        self.node_name = node_name
+        self.program = program
+        self.hooks = hooks
+        count = len(program.counters)
+        self.values: List[int] = [0] * count
+        self.enabled: List[bool] = [c.initially_enabled for c in program.counters]
+        self.timestamps: List[int] = [0] * count
+        #: local view of term statuses (ours and received).
+        self.term_status: Dict[int, bool] = {}
+        #: state of conditions evaluated at this node.
+        self.condition_state: Dict[int, bool] = {}
+        self.started = False
+
+        # Precomputed local slices of the tables.
+        self.my_event_counters: List[CounterSpec] = [
+            c
+            for c in program.counters
+            if c.kind is CounterKind.EVENT and c.home_node == node_name
+        ]
+        self.my_condition_ids: List[int] = [
+            c.condition_id
+            for c in program.conditions
+            if node_name in c.nodes() and not c.is_true_rule
+        ]
+        self.my_true_rules = [
+            c for c in program.conditions if c.is_true_rule and node_name in c.nodes()
+        ]
+        self.my_fault_actions: List[ActionSpec] = [
+            a for a in program.actions if a.is_packet_fault and a.node == node_name
+        ]
+        self._pending_conditions: Set[int] = set()
+        self._stats: Optional[EventStats] = None
+        self.events_seen = 0
+        #: optional audit hook: (kind, detail) -> None; see repro.core.audit.
+        self.audit: Optional[Callable[[str, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> EventStats:
+        """Run the (TRUE) initialisation rules and compute initial states."""
+        stats = self._begin_event()
+        self.started = True
+        for condition in self.my_true_rules:
+            self.condition_state[condition.condition_id] = True
+            self._fire_actions(condition.condition_id)
+        # Evaluate the terms this node owns and push any non-default status.
+        for term in self.program.terms:
+            if term.mode is TermMode.LOCAL_BROADCAST and term.home_node == self.node_name:
+                self._evaluate_owned_term(term, broadcast_initial=True)
+            elif term.mode is TermMode.MIRROR and self.node_name in term.consumer_nodes:
+                self._evaluate_mirror_term(term)
+        for condition_id in self.my_condition_ids:
+            self._pending_conditions.add(condition_id)
+        self._settle()
+        return self._end_event(stats)
+
+    # ------------------------------------------------------------------
+    # Packet events
+    # ------------------------------------------------------------------
+
+    def on_classified_packet(
+        self,
+        pkt_type: str,
+        src_node: Optional[str],
+        dst_node: Optional[str],
+        direction: Direction,
+    ) -> EventStats:
+        """A packet of *pkt_type* crossed this node's hook."""
+        stats = self._begin_event()
+        self.events_seen += 1
+        for counter in self.my_event_counters:
+            if (
+                counter.pkt_type == pkt_type
+                and counter.direction is direction
+                and counter.src_node == src_node
+                and counter.dst_node == dst_node
+                and self.enabled[counter.counter_id]
+            ):
+                self._set_counter(counter.counter_id, self.values[counter.counter_id] + 1)
+        self._settle()
+        return self._end_event(stats)
+
+    def armed_faults(
+        self,
+        pkt_type: str,
+        src_node: Optional[str],
+        dst_node: Optional[str],
+        direction: Direction,
+    ) -> List[ActionSpec]:
+        """Packet faults active (condition true) that match this packet."""
+        matching = []
+        for action in self.my_fault_actions:
+            if (
+                action.pkt_type == pkt_type
+                and action.direction is direction
+                and action.src_node == src_node
+                and action.dst_node == dst_node
+                and self.condition_state.get(action.condition_id, False)
+            ):
+                matching.append(action)
+        return matching
+
+    # ------------------------------------------------------------------
+    # Control-plane inputs
+    # ------------------------------------------------------------------
+
+    def on_counter_update(self, counter_id: int, value: int) -> EventStats:
+        """A remote home pushed a counter value we mirror."""
+        stats = self._begin_event()
+        self.values[counter_id] = value
+        self._touch()
+        for term_id in self.program.counters[counter_id].term_ids:
+            term = self.program.terms[term_id]
+            if term.mode is TermMode.MIRROR and self.node_name in term.consumer_nodes:
+                self._evaluate_mirror_term(term)
+        self._settle()
+        return self._end_event(stats)
+
+    def on_term_status(self, term_id: int, status: bool) -> EventStats:
+        """A remote home pushed a term status change."""
+        stats = self._begin_event()
+        old = self.term_status.get(term_id, False)
+        self.term_status[term_id] = status
+        if status != old:
+            for condition_id in self.program.terms[term_id].condition_ids:
+                if condition_id in self.my_condition_ids:
+                    self._pending_conditions.add(condition_id)
+        self._settle()
+        return self._end_event(stats)
+
+    # ------------------------------------------------------------------
+    # Counter mutation and propagation
+    # ------------------------------------------------------------------
+
+    def _touch(self) -> None:
+        if self._stats is not None:
+            self._stats.counter_touches += 1
+
+    def _set_counter(self, counter_id: int, value: int) -> None:
+        self.values[counter_id] = value
+        self._touch()
+        counter = self.program.counters[counter_id]
+        if counter.home_node == self.node_name and counter.mirror_subscribers:
+            self.hooks.send_counter_update(counter_id, value, counter.mirror_subscribers)
+        for term_id in counter.term_ids:
+            term = self.program.terms[term_id]
+            if term.mode is TermMode.LOCAL_BROADCAST:
+                if term.home_node == self.node_name:
+                    self._evaluate_owned_term(term)
+            elif self.node_name in term.consumer_nodes:
+                self._evaluate_mirror_term(term)
+
+    def _term_value(self, term: TermSpec) -> bool:
+        lhs = term.lhs.constant if not term.lhs.is_counter else self.values[term.lhs.counter_id]
+        rhs = term.rhs.constant if not term.rhs.is_counter else self.values[term.rhs.counter_id]
+        if self._stats is not None:
+            self._stats.terms_evaluated += 1
+        return term.op.evaluate(lhs, rhs)
+
+    def _evaluate_owned_term(self, term: TermSpec, broadcast_initial: bool = False) -> None:
+        new = self._term_value(term)
+        old = self.term_status.get(term.term_id, False)
+        if new == old and not (broadcast_initial and new):
+            return
+        self.term_status[term.term_id] = new
+        remote = [n for n in term.consumer_nodes if n != self.node_name]
+        if remote:
+            self.hooks.send_term_status(term.term_id, new, remote)
+        if self.node_name in term.consumer_nodes:
+            for condition_id in term.condition_ids:
+                if condition_id in self.my_condition_ids:
+                    self._pending_conditions.add(condition_id)
+
+    def _evaluate_mirror_term(self, term: TermSpec) -> None:
+        new = self._term_value(term)
+        old = self.term_status.get(term.term_id, False)
+        if new == old:
+            return
+        self.term_status[term.term_id] = new
+        for condition_id in term.condition_ids:
+            if condition_id in self.my_condition_ids:
+                self._pending_conditions.add(condition_id)
+
+    # ------------------------------------------------------------------
+    # Condition settlement and action firing
+    # ------------------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Drain pending condition re-evaluations in two-phase waves.
+
+        Each wave first evaluates *every* pending condition against the
+        current state, then fires the false→true edges.  Evaluating before
+        firing matters: two rules triggered by the same counter value must
+        both observe it (the paper's Fig 6 script has one rule RESET a
+        counter that a sibling STOP rule tests — with eager firing the
+        reset would always win and the STOP could never trigger).
+        """
+        steps = 0
+        while self._pending_conditions:
+            steps += 1
+            if steps > MAX_CASCADE_STEPS:
+                raise EngineError(
+                    f"{self.node_name}: rule cascade exceeded "
+                    f"{MAX_CASCADE_STEPS} steps (cyclic counter rules?)"
+                )
+            wave = sorted(self._pending_conditions)
+            self._pending_conditions.clear()
+            edges = []
+            for condition_id in wave:
+                condition = self.program.conditions[condition_id]
+                if self._stats is not None:
+                    self._stats.conditions_evaluated += 1
+                new = condition.expr.evaluate(self.term_status)
+                old = self.condition_state.get(condition_id, False)
+                self.condition_state[condition_id] = new
+                if new and not old:
+                    edges.append(condition_id)
+            for condition_id in edges:
+                self._fire_actions(condition_id)
+
+    def _fire_actions(self, condition_id: int) -> None:
+        condition = self.program.conditions[condition_id]
+        if self.audit is not None:
+            where = "TRUE rule" if condition.is_true_rule else f"line {condition.line}"
+            self.audit("condition", f"{where} satisfied")
+        for node, action_id in condition.triggers:
+            if node != self.node_name:
+                continue
+            action = self.program.actions[action_id]
+            if action.is_packet_fault:
+                continue  # packet faults arm via condition state
+            if self._stats is not None:
+                self._stats.actions_fired += 1
+            self._execute(action)
+
+    def _execute(self, action: ActionSpec) -> None:
+        kind = action.kind
+        if kind is ActionKind.ASSIGN_CNTR:
+            self._set_counter(action.counter_id, action.value)
+        elif kind is ActionKind.ENABLE_CNTR:
+            self.enabled[action.counter_id] = True
+            self._touch()
+        elif kind is ActionKind.DISABLE_CNTR:
+            self.enabled[action.counter_id] = False
+            self._touch()
+        elif kind is ActionKind.INCR_CNTR:
+            self._set_counter(action.counter_id, self.values[action.counter_id] + action.value)
+        elif kind is ActionKind.DECR_CNTR:
+            self._set_counter(action.counter_id, self.values[action.counter_id] - action.value)
+        elif kind is ActionKind.RESET_CNTR:
+            self._set_counter(action.counter_id, 0)
+        elif kind is ActionKind.SET_CURTIME:
+            self.timestamps[action.counter_id] = self.hooks.now()
+            self._touch()
+        elif kind is ActionKind.ELAPSED_TIME:
+            elapsed_ms = (self.hooks.now() - self.timestamps[action.counter_id]) // NS_PER_MS
+            self._set_counter(action.counter_id, elapsed_ms)
+        elif kind is ActionKind.FAIL:
+            if self.audit is not None:
+                self.audit("fail", f"FAIL({self.node_name}) executed")
+            self.hooks.fail_local_host()
+        elif kind is ActionKind.STOP:
+            if self.audit is not None:
+                self.audit("stop", "STOP executed")
+            self.hooks.report_stop(action.condition_id)
+        elif kind is ActionKind.FLAG_ERROR:
+            if self.audit is not None:
+                line = self.program.conditions[action.condition_id].line
+                self.audit("error", f"FLAG_ERROR (script line {line})")
+            self.hooks.report_error(action.condition_id, action.action_id)
+        else:
+            raise EngineError(f"cannot execute action kind {kind}")
+
+    # ------------------------------------------------------------------
+    # Event bracketing
+    # ------------------------------------------------------------------
+
+    def _begin_event(self) -> EventStats:
+        stats = EventStats()
+        self._stats = stats
+        return stats
+
+    def _end_event(self, stats: EventStats) -> EventStats:
+        self._stats = None
+        return stats
+
+    # ------------------------------------------------------------------
+    # Introspection (reports and tests)
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        return self.values[self.program.counter_by_name(name).counter_id]
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        return {c.name: self.values[c.counter_id] for c in self.program.counters}
+
+    def __repr__(self) -> str:
+        return f"NodeRuntime({self.node_name}, events={self.events_seen})"

@@ -1,0 +1,257 @@
+"""The Testbed facade: build a LAN, splice VirtualWire in, run scenarios.
+
+This is the library's main entry point.  A typical session::
+
+    from repro import Testbed, seconds
+
+    tb = Testbed(seed=42)
+    node1 = tb.add_host("node1")
+    node2 = tb.add_host("node2")
+    tb.add_switch("sw0")
+    tb.connect("sw0", node1, node2)
+    tb.install_virtualwire(control="node1")
+
+    def workload():
+        node2.tcp.listen(0x4000)
+        conn = node1.tcp.connect(node2.ip, 0x4000, local_port=0x6000)
+        conn.on_established = lambda: conn.send(bytes(16384))
+
+    report = tb.run_scenario(SCRIPT, workload=workload,
+                             max_time=seconds(30))
+    assert report.passed, report.render()
+
+The testbed auto-generates deterministic MAC/IP addresses, fills every
+host's neighbour table, and can emit the script's ``NODE_TABLE`` section so
+scripts never hard-code addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from ..errors import ScenarioError, TopologyError
+from ..net.addresses import IpAddress, MacAddress
+from ..net.topology import Topology
+from ..rll import RllLayer
+from ..sim import Simulator, seconds
+from ..stack.costs import CostModel
+from ..stack.node import Host
+from ..trace import TapLayer, TraceRecorder
+from .audit import AuditLog
+from .engine import VirtualWireEngine
+from .frontend import Frontend
+from .fsl import compile_text
+from .report import EndReason, ScenarioReport
+from .tables import CompiledProgram
+
+HostRef = Union[str, Host]
+
+
+class Testbed:
+    """A simulated LAN with VirtualWire installed on its hosts."""
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(self, seed: int = 0, costs: Optional[CostModel] = None) -> None:
+        self.sim = Simulator(seed=seed)
+        self.topology = Topology(self.sim)
+        self.costs = costs if costs is not None else CostModel()
+        self.hosts: Dict[str, Host] = {}
+        self.engines: Dict[str, VirtualWireEngine] = {}
+        self.rll_layers: Dict[str, RllLayer] = {}
+        self.frontend: Optional[Frontend] = None
+        self.recorder: Optional[TraceRecorder] = None
+        self.audit_log: Optional[AuditLog] = None
+        self._host_index = 0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        mac: Optional[str] = None,
+        ip: Optional[str] = None,
+        install_tcp: bool = True,
+    ) -> Host:
+        """Create a host; addresses are auto-generated when omitted."""
+        if name in self.hosts:
+            raise TopologyError(f"duplicate host name {name!r}")
+        self._host_index += 1
+        host = Host(
+            self.sim,
+            name,
+            mac if mac is not None else MacAddress.from_index(self._host_index),
+            ip if ip is not None else IpAddress.from_index(self._host_index),
+            costs=self.costs,
+            install_tcp=install_tcp,
+        )
+        self.hosts[name] = host
+        for other in self.hosts.values():
+            other.add_neighbor(host.ip, host.mac)
+            host.add_neighbor(other.ip, other.mac)
+        return host
+
+    def add_switch(self, name: str = "sw0", **kwargs):
+        return self.topology.add_switch(name, **kwargs)
+
+    def add_hub(self, name: str = "hub0", **kwargs):
+        return self.topology.add_hub(name, **kwargs)
+
+    def add_bus(self, name: str = "bus0", **kwargs):
+        return self.topology.add_bus(name, **kwargs)
+
+    def add_link(self, name: str = "link0", **kwargs):
+        return self.topology.add_link(name, **kwargs)
+
+    def connect(self, medium_name: str, *hosts: HostRef) -> None:
+        """Attach each host's NIC to the named medium."""
+        nics = [self.host(ref).nic for ref in hosts]
+        self.topology.connect(medium_name, *nics)
+
+    def host(self, ref: HostRef) -> Host:
+        if isinstance(ref, Host):
+            return ref
+        try:
+            return self.hosts[ref]
+        except KeyError:
+            raise TopologyError(f"unknown host {ref!r}") from None
+
+    # ------------------------------------------------------------------
+    # VirtualWire installation
+    # ------------------------------------------------------------------
+
+    def install_virtualwire(
+        self,
+        nodes: Optional[List[HostRef]] = None,
+        control: Optional[HostRef] = None,
+        rll: bool = False,
+        capture: bool = False,
+        audit: bool = False,
+    ) -> Frontend:
+        """Splice the FIE/FAE (and optionally the RLL below it) into hosts.
+
+        *nodes* defaults to every host; *control* defaults to the first
+        host and may also be a scenario node, as in the paper's Fig 1.
+        With *capture* a :class:`TraceRecorder` tap is spliced above each
+        engine, recording exactly what the protocols under test see; with
+        *audit* every engine feeds a shared :class:`AuditLog` narrating
+        rule firings and fault applications (``testbed.audit_log``).
+        """
+        if self.frontend is not None:
+            raise ScenarioError("VirtualWire is already installed")
+        targets = (
+            [self.host(ref) for ref in nodes]
+            if nodes is not None
+            else list(self.hosts.values())
+        )
+        if not targets:
+            raise ScenarioError("no hosts to install VirtualWire on")
+        control_host = self.host(control) if control is not None else targets[0]
+        if capture:
+            self.recorder = TraceRecorder(self.sim)
+        if audit:
+            self.audit_log = AuditLog(self.sim)
+        for host in targets:
+            if rll:
+                layer = RllLayer(self.sim)
+                host.chain.splice_above_driver(layer)
+                self.rll_layers[host.name] = layer
+            engine = VirtualWireEngine(self.sim)
+            engine.audit_log = self.audit_log
+            host.chain.splice_below_ip(engine)
+            self.engines[host.name] = engine
+            if self.recorder is not None:
+                host.chain.splice_below_ip(TapLayer(self.recorder, host.name))
+        if control_host.name not in self.engines:
+            engine = VirtualWireEngine(self.sim)
+            engine.audit_log = self.audit_log
+            control_host.chain.splice_below_ip(engine)
+            self.engines[control_host.name] = engine
+        self.frontend = Frontend(
+            self.sim, self.engines[control_host.name], self.engines
+        )
+        return self.frontend
+
+    # ------------------------------------------------------------------
+    # Script helpers
+    # ------------------------------------------------------------------
+
+    def node_table_fsl(self, *names: str) -> str:
+        """Emit a NODE_TABLE section for the given hosts (default: all).
+
+        Lets scripts stay address-free: the testbed knows the generated
+        MAC/IP bindings.
+        """
+        hosts = [self.host(n) for n in names] if names else list(self.hosts.values())
+        lines = ["NODE_TABLE"]
+        for host in hosts:
+            lines.append(f"  {host.name} {host.mac} {host.ip}")
+        lines.append("END")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Scenario execution
+    # ------------------------------------------------------------------
+
+    def run_scenario(
+        self,
+        script: Union[str, CompiledProgram],
+        scenario: Optional[str] = None,
+        workload: Optional[Callable[[], None]] = None,
+        max_time: int = seconds(60),
+        inactivity_ns: Optional[int] = None,
+        max_events: int = 50_000_000,
+    ) -> ScenarioReport:
+        """Compile *script*, run it to completion, and return the report.
+
+        *workload* is invoked shortly after every engine has started, so
+        protocol traffic begins only once fault injection is armed.
+        *max_time* bounds virtual time as a fail-safe.
+        """
+        if self.frontend is None:
+            raise ScenarioError("call install_virtualwire() before run_scenario()")
+        program = (
+            script
+            if isinstance(script, CompiledProgram)
+            else compile_text(script, scenario)
+        )
+        self.topology.validate(host.nic for host in self.hosts.values())
+        frontend = self.frontend
+        frontend.start_scenario(program, on_running=workload, inactivity_ns=inactivity_ns)
+        deadline = self.sim.now + max_time
+        events_left = max_events
+        while not frontend.finished:
+            if events_left <= 0:
+                frontend.force_finish(EndReason.MAX_TIME)
+                break
+            upcoming = self.sim.queue.peek_time()
+            if upcoming is None:
+                # Nothing left to happen: the limiting case of inactivity.
+                # (QUIESCED is reserved for runs that never started.)
+                frontend.force_finish(
+                    EndReason.INACTIVITY if frontend.started else EndReason.QUIESCED
+                )
+                break
+            if upcoming > deadline:
+                frontend.force_finish(EndReason.MAX_TIME)
+                break
+            self.sim.step()
+            events_left -= 1
+            frontend.poll()
+        # Let in-flight shutdown control frames drain briefly so engines
+        # disable before the caller inspects them.
+        self.sim.run_for(seconds(0.01))
+        return frontend.build_report()
+
+    def run_for(self, duration: int) -> None:
+        """Advance the simulation without a scenario (workload warm-up)."""
+        self.sim.run_for(duration)
+
+    def __repr__(self) -> str:
+        return (
+            f"Testbed(hosts={sorted(self.hosts)}, "
+            f"virtualwire={'installed' if self.frontend else 'absent'})"
+        )

@@ -1,0 +1,116 @@
+"""Exception hierarchy for the VirtualWire reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.  The
+subtree mirrors the major subsystems: simulation, packet handling, the
+protocol stacks, FSL (the Fault Specification Language), and the distributed
+run-time engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """A violation of simulation-kernel invariants (e.g. time travel)."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+# ---------------------------------------------------------------------------
+# Packets and network elements
+# ---------------------------------------------------------------------------
+
+
+class PacketError(ReproError):
+    """Malformed packet bytes or header fields out of range."""
+
+
+class AddressError(PacketError):
+    """A MAC or IP address string/byte representation is invalid."""
+
+
+class ChecksumError(PacketError):
+    """A received packet failed checksum verification."""
+
+
+class TopologyError(ReproError):
+    """Inconsistent wiring: unknown ports, double-attached NICs, etc."""
+
+
+# ---------------------------------------------------------------------------
+# Protocol stacks
+# ---------------------------------------------------------------------------
+
+
+class StackError(ReproError):
+    """Errors from the layered host stack (bad layer splice, dead node...)."""
+
+
+class SocketError(StackError):
+    """Socket API misuse: double bind, send on closed connection, etc."""
+
+
+class TcpError(StackError):
+    """TCP state-machine violation detected by our own implementation."""
+
+
+class RetherError(StackError):
+    """Rether protocol violation detected locally (not by the FAE)."""
+
+
+# ---------------------------------------------------------------------------
+# FSL: the Fault Specification Language
+# ---------------------------------------------------------------------------
+
+
+class FslError(ReproError):
+    """Base class for all FSL front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class FslLexError(FslError):
+    """An unrecognised character or malformed literal in an FSL script."""
+
+
+class FslParseError(FslError):
+    """The token stream does not form a valid FSL script."""
+
+
+class FslCompileError(FslError):
+    """The script is syntactically valid but semantically inconsistent,
+
+    e.g. a rule references an undeclared counter or an unknown node.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Distributed run-time engine
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """FIE/FAE run-time failure (corrupt table state, unknown ids)."""
+
+
+class ControlPlaneError(EngineError):
+    """Malformed or unexpected control-plane frame."""
+
+
+class ScenarioError(ReproError):
+    """Scenario orchestration failure at the programming front-end."""

@@ -1,0 +1,83 @@
+"""Byte-accurate network substrate.
+
+Ethernet/IPv4/UDP/TCP codecs whose wire offsets match the paper's filter
+scripts, plus NICs, links, hubs/buses and learning switches with a shared
+bandwidth/propagation/bit-error service model.
+"""
+
+from .addresses import IpAddress, MacAddress
+from .bytesutil import hexdump, internet_checksum, patch_bytes, verify_checksum
+from .frame import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_RETHER,
+    ETHERTYPE_RLL,
+    ETHERTYPE_VW_CONTROL,
+    EthernetFrame,
+)
+from .ip import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Ipv4Packet
+from .link import (
+    DEFAULT_BANDWIDTH_BPS,
+    DEFAULT_PROPAGATION_NS,
+    DEFAULT_QUEUE_FRAMES,
+    Hub,
+    Medium,
+    PointToPointLink,
+    SharedBus,
+)
+from .nic import Nic
+from .packet import FrameView, build_tcp_frame, build_udp_frame
+from .switch import LearningSwitch
+from .tcp_segment import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    FLAG_URG,
+    TcpSegment,
+    flags_to_str,
+)
+from .topology import Topology
+from .udp import UdpDatagram
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_BPS",
+    "DEFAULT_PROPAGATION_NS",
+    "DEFAULT_QUEUE_FRAMES",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_RETHER",
+    "ETHERTYPE_RLL",
+    "ETHERTYPE_VW_CONTROL",
+    "EthernetFrame",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_PSH",
+    "FLAG_RST",
+    "FLAG_SYN",
+    "FLAG_URG",
+    "FrameView",
+    "Hub",
+    "IpAddress",
+    "Ipv4Packet",
+    "LearningSwitch",
+    "MacAddress",
+    "Medium",
+    "Nic",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PointToPointLink",
+    "SharedBus",
+    "TcpSegment",
+    "Topology",
+    "UdpDatagram",
+    "build_tcp_frame",
+    "build_udp_frame",
+    "flags_to_str",
+    "hexdump",
+    "internet_checksum",
+    "patch_bytes",
+    "verify_checksum",
+]

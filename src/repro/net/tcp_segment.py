@@ -1,0 +1,158 @@
+"""TCP segment (de)serialisation.
+
+Only the fixed 20-byte header is emitted (no options), which keeps the wire
+layout identical to the one the paper's filter table addresses: with a
+14-byte Ethernet header and 20-byte IPv4 header in front, the TCP source
+port sits at frame offset 34, the destination port at 36, the sequence
+number at 38, the acknowledgement number at 42, and the flags byte at 47 —
+exactly the tuples in Fig 2 (e.g. ``(47 1 0x10 0x10)`` tests the ACK bit).
+"""
+
+from __future__ import annotations
+
+from ..errors import ChecksumError, PacketError
+from .addresses import IpAddress
+from .bytesutil import internet_checksum, pack_u16, pack_u32, read_u16, read_u32
+from .ip import PROTO_TCP, pseudo_header
+
+HEADER_LEN = 20
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+_FLAG_NAMES = (
+    (FLAG_SYN, "SYN"),
+    (FLAG_FIN, "FIN"),
+    (FLAG_RST, "RST"),
+    (FLAG_PSH, "PSH"),
+    (FLAG_ACK, "ACK"),
+    (FLAG_URG, "URG"),
+)
+
+
+def flags_to_str(flags: int) -> str:
+    """Render a flag byte as e.g. ``SYN|ACK`` (``.`` when empty)."""
+    names = [name for bit, name in _FLAG_NAMES if flags & bit]
+    return "|".join(names) if names else "."
+
+
+class TcpSegment:
+    """A TCP segment with a fixed-length header and real checksum."""
+
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "window", "payload")
+
+    def __init__(
+        self,
+        src_port: int,
+        dst_port: int,
+        seq: int,
+        ack: int,
+        flags: int,
+        window: int,
+        payload: bytes = b"",
+    ) -> None:
+        for name, port in (("src_port", src_port), ("dst_port", dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"TCP {name} out of range: {port}")
+        for name, value in (("seq", seq), ("ack", ack)):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise PacketError(f"TCP {name} out of range: {value}")
+        if not 0 <= flags <= 0x3F:
+            raise PacketError(f"TCP flags out of range: {flags:#x}")
+        if not 0 <= window <= 0xFFFF:
+            raise PacketError(f"TCP window out of range: {window}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload = bytes(payload)
+
+    # -- flag accessors -------------------------------------------------
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def length(self) -> int:
+        return HEADER_LEN + len(self.payload)
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence-number space consumed: payload plus SYN/FIN phantom bytes."""
+        return len(self.payload) + (1 if self.is_syn else 0) + (1 if self.is_fin else 0)
+
+    # -- serialisation ----------------------------------------------------
+
+    def _header(self, checksum: int) -> bytes:
+        data_offset_flags = (5 << 12) | self.flags  # offset=5 words, no options
+        return (
+            pack_u16(self.src_port)
+            + pack_u16(self.dst_port)
+            + pack_u32(self.seq)
+            + pack_u32(self.ack)
+            + pack_u16(data_offset_flags)
+            + pack_u16(self.window)
+            + pack_u16(checksum)
+            + pack_u16(0)  # urgent pointer, unused
+        )
+
+    def to_bytes(self, src_ip: IpAddress, dst_ip: IpAddress) -> bytes:
+        """Serialise with the RFC 793 pseudo-header checksum."""
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_TCP, self.length)
+        checksum = internet_checksum(pseudo + self._header(0) + self.payload)
+        return self._header(checksum) + self.payload
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        src_ip: IpAddress = None,
+        dst_ip: IpAddress = None,
+        verify: bool = True,
+    ) -> "TcpSegment":
+        """Parse wire bytes; checksum verified when both IPs are supplied."""
+        if len(data) < HEADER_LEN:
+            raise PacketError(f"TCP segment of {len(data)} bytes is too short")
+        data_offset_flags = read_u16(data, 12)
+        header_len = (data_offset_flags >> 12) * 4
+        if header_len != HEADER_LEN:
+            raise PacketError(f"TCP options unsupported (header {header_len} bytes)")
+        if verify and src_ip is not None and dst_ip is not None:
+            pseudo = pseudo_header(src_ip, dst_ip, PROTO_TCP, len(data))
+            if internet_checksum(pseudo + data) != 0:
+                raise ChecksumError("TCP checksum mismatch")
+        return cls(
+            src_port=read_u16(data, 0),
+            dst_port=read_u16(data, 2),
+            seq=read_u32(data, 4),
+            ack=read_u32(data, 8),
+            flags=data_offset_flags & 0x3F,
+            window=read_u16(data, 14),
+            payload=data[HEADER_LEN:],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpSegment({self.src_port} -> {self.dst_port}, "
+            f"seq={self.seq}, ack={self.ack}, [{flags_to_str(self.flags)}], "
+            f"win={self.window}, {len(self.payload)}B payload)"
+        )

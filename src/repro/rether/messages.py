@@ -1,0 +1,92 @@
+"""Rether control messages.
+
+Rether control frames use EtherType ``0x9900`` — the value the paper's
+Fig 6 filter table matches with the tuple ``(12 2 0x9900)`` — and carry a
+small fixed header whose first two bytes are the message type, matched by
+``(14 2 0x0001)`` (token) and ``(14 2 0x0010)`` (token ack).
+
+Header layout (big endian, frame offsets in parentheses):
+
+====== ======= ==========================================================
+offset size    field
+====== ======= ==========================================================
+0 (14) 2       type: 0x0001 token, 0x0010 token-ack
+2 (16) 2       generation — bumped when a lost token is regenerated
+4 (18) 4       token sequence — increments on every hop
+8 (22) 8       cycle start, ns — stamped by the ring master each rotation
+====== ======= ==========================================================
+"""
+
+from __future__ import annotations
+
+from ..errors import PacketError
+from ..net.bytesutil import pack_u16, pack_u32, read_u16, read_u32
+from ..net.frame import ETHERTYPE_RETHER, EthernetFrame
+
+TYPE_TOKEN = 0x0001
+TYPE_TOKEN_ACK = 0x0010
+#: A recovered node announcing itself back into the ring (broadcast).
+TYPE_JOIN = 0x0020
+
+HEADER_LEN = 16
+
+
+class RetherMessage:
+    """A decoded Rether control message."""
+
+    __slots__ = ("msg_type", "generation", "seq", "cycle_start")
+
+    def __init__(
+        self, msg_type: int, generation: int, seq: int, cycle_start: int = 0
+    ) -> None:
+        if msg_type not in (TYPE_TOKEN, TYPE_TOKEN_ACK, TYPE_JOIN):
+            raise PacketError(f"unknown Rether message type {msg_type:#06x}")
+        self.msg_type = msg_type
+        self.generation = generation % (1 << 16)
+        self.seq = seq % (1 << 32)
+        self.cycle_start = cycle_start
+
+    @property
+    def is_token(self) -> bool:
+        return self.msg_type == TYPE_TOKEN
+
+    @property
+    def is_ack(self) -> bool:
+        return self.msg_type == TYPE_TOKEN_ACK
+
+    @property
+    def is_join(self) -> bool:
+        return self.msg_type == TYPE_JOIN
+
+    def to_payload(self) -> bytes:
+        return (
+            pack_u16(self.msg_type)
+            + pack_u16(self.generation)
+            + pack_u32(self.seq)
+            + self.cycle_start.to_bytes(8, "big")
+        )
+
+    def wrap(self, dst, src) -> EthernetFrame:
+        """Build the on-wire control frame."""
+        return EthernetFrame(dst, src, ETHERTYPE_RETHER, self.to_payload())
+
+    @classmethod
+    def parse(cls, payload: bytes) -> "RetherMessage":
+        if len(payload) < HEADER_LEN:
+            raise PacketError(f"Rether header of {len(payload)} bytes is too short")
+        return cls(
+            msg_type=read_u16(payload, 0),
+            generation=read_u16(payload, 2),
+            seq=read_u32(payload, 4),
+            cycle_start=int.from_bytes(payload[8:16], "big"),
+        )
+
+    def ack(self) -> "RetherMessage":
+        """The token-ack answering this token."""
+        return RetherMessage(TYPE_TOKEN_ACK, self.generation, self.seq, self.cycle_start)
+
+    def __repr__(self) -> str:
+        kind = {TYPE_TOKEN: "TOKEN", TYPE_TOKEN_ACK: "TOKEN_ACK", TYPE_JOIN: "JOIN"}[
+            self.msg_type
+        ]
+        return f"RetherMessage({kind}, gen={self.generation}, seq={self.seq})"

@@ -1,0 +1,248 @@
+"""The Reliable Link Layer (paper §3.3).
+
+A go-back-N sliding-window protocol spliced *below* the VirtualWire engine
+and above the device driver.  Its job in the paper is to make the testbed a
+truly controlled environment: MAC-level bit errors (which the engine cannot
+see) must never manifest as packet loss, so the only losses a protocol
+under test experiences are the ones the fault script injected.
+
+Properties:
+
+* per-peer windows, cumulative ACKs, retransmission on timeout;
+* in-order exactly-once delivery of unicast frames to the layer above;
+* broadcast/multicast frames bypass the window (they are not acked) —
+  link-level reliability for them would need true multicast consensus,
+  which neither the paper nor any Ethernet provides;
+* a retry cap so a crashed peer (FAIL fault) cannot generate an infinite
+  retransmission storm.
+
+The ACK traffic this layer adds in both directions is exactly the overhead
+the paper measures in Figs 7 and 8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..net.addresses import MacAddress
+from ..net.frame import EthernetFrame
+from ..sim import NS_PER_MS, Simulator
+from ..stack.layers import FrameLayer
+from .frames import KIND_ACK, KIND_DATA, RllFrame, seq_add, seq_diff
+
+#: Outstanding unacked frames allowed per peer.
+DEFAULT_WINDOW = 8
+#: Retransmission timeout: a couple of LAN round trips.
+DEFAULT_RTO_NS = 2 * NS_PER_MS
+#: Give up on a frame after this many retransmissions (dead peer).
+DEFAULT_MAX_RETRIES = 20
+
+
+class _PeerState:
+    """Window state for one (local, remote) unicast pairing."""
+
+    __slots__ = (
+        "snd_base",
+        "snd_next",
+        "window",
+        "unacked",
+        "backlog",
+        "rcv_next",
+        "retries",
+        "timer",
+    )
+
+    def __init__(self) -> None:
+        self.snd_base = 0
+        self.snd_next = 0
+        self.window: Deque[Tuple[int, EthernetFrame]] = deque()
+        self.unacked = 0  # frames currently in the window
+        self.backlog: Deque[EthernetFrame] = deque()
+        self.rcv_next = 0
+        self.retries = 0
+        self.timer = None
+
+
+class RllLayer(FrameLayer):
+    """Reliable Link Layer as a splice-in frame layer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        window: int = DEFAULT_WINDOW,
+        rto_ns: int = DEFAULT_RTO_NS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        frame_cost_ns: Optional[int] = None,
+    ) -> None:
+        super().__init__("rll")
+        self.sim = sim
+        self.window_size = window
+        self.rto_ns = rto_ns
+        self.max_retries = max_retries
+        self._frame_cost_ns = frame_cost_ns
+        self._peers: Dict[MacAddress, _PeerState] = {}
+        # Statistics.
+        self.data_sent = 0
+        self.data_received = 0
+        self.acks_sent = 0
+        self.acks_received = 0
+        self.retransmissions = 0
+        self.duplicates_discarded = 0
+        self.out_of_order_discarded = 0
+        self.abandoned_frames = 0
+        self.bypass_frames = 0
+
+    def attached(self) -> None:
+        if self._frame_cost_ns is None:
+            self._frame_cost_ns = self.host.costs.rll_frame_ns if self.host else 0
+
+    def _charge(self, thunk, label: str) -> None:
+        if self._frame_cost_ns:
+            self.sim.after(self._frame_cost_ns, thunk, label)
+        else:
+            thunk()
+
+    def _peer(self, mac: MacAddress) -> _PeerState:
+        state = self._peers.get(mac)
+        if state is None:
+            state = _PeerState()
+            self._peers[mac] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Downward path: encapsulate and window
+    # ------------------------------------------------------------------
+
+    def on_send(self, frame_bytes: bytes) -> None:
+        frame = EthernetFrame.from_bytes(frame_bytes)
+        if frame.dst.is_multicast:
+            self.bypass_frames += 1
+            self.pass_down(frame_bytes)
+            return
+        peer = self._peer(frame.dst)
+        if peer.unacked >= self.window_size:
+            peer.backlog.append(frame)
+            return
+        self._charge(lambda: self._send_data(frame.dst, peer, frame), "rll:tx")
+
+    def _send_data(self, dst: MacAddress, peer: _PeerState, frame: EthernetFrame) -> None:
+        seq = peer.snd_next
+        peer.snd_next = seq_add(peer.snd_next, 1)
+        peer.window.append((seq, frame))
+        peer.unacked += 1
+        self.data_sent += 1
+        self._emit_data(dst, frame, seq, peer.rcv_next)
+        if peer.timer is None:
+            self._arm_timer(dst, peer)
+
+    def _emit_data(self, dst: MacAddress, frame: EthernetFrame, seq: int, ack: int) -> None:
+        shim = RllFrame.data_for(frame, seq, ack)
+        self.pass_down(shim.wrap(dst, frame.src).to_bytes())
+
+    # ------------------------------------------------------------------
+    # Upward path: decapsulate, ack, deliver in order
+    # ------------------------------------------------------------------
+
+    def on_receive(self, frame_bytes: bytes) -> None:
+        outer = EthernetFrame.from_bytes(frame_bytes)
+        shim = RllFrame.maybe_parse(outer)
+        if shim is None:
+            # Not RLL traffic (e.g. a peer without RLL, or multicast bypass).
+            self.bypass_frames += 1
+            self.pass_up(frame_bytes)
+            return
+        peer = self._peer(outer.src)
+        if shim.kind == KIND_ACK:
+            self.acks_received += 1
+            self._process_ack(outer.src, peer, shim.ack)
+            return
+        if shim.kind == KIND_DATA:
+            self._charge(
+                lambda: self._process_data(outer, shim, peer), "rll:rx"
+            )
+
+    def _process_data(self, outer: EthernetFrame, shim: RllFrame, peer: _PeerState) -> None:
+        # Piggybacked cumulative ack is valid on every DATA frame.
+        self._process_ack(outer.src, peer, shim.ack)
+        delta = seq_diff(shim.seq, peer.rcv_next)
+        if delta == 0:
+            peer.rcv_next = seq_add(peer.rcv_next, 1)
+            self.data_received += 1
+            self._send_ack(outer.src, peer)
+            self.pass_up(shim.unwrap(outer).to_bytes())
+        elif delta < 0:
+            # Duplicate of something we already delivered: re-ack, discard.
+            self.duplicates_discarded += 1
+            self._send_ack(outer.src, peer)
+        else:
+            # Go-back-N: a gap means the earlier frame is in flight again;
+            # discard and re-ack the last in-order point.
+            self.out_of_order_discarded += 1
+            self._send_ack(outer.src, peer)
+
+    def _send_ack(self, dst: MacAddress, peer: _PeerState) -> None:
+        self.acks_sent += 1
+        shim = RllFrame.pure_ack(peer.rcv_next)
+        src = self.host.mac if self.host is not None else dst
+        self.pass_down(shim.wrap(dst, src).to_bytes())
+
+    def _process_ack(self, dst: MacAddress, peer: _PeerState, ack: int) -> None:
+        advanced = False
+        while peer.window and seq_diff(peer.window[0][0], ack) < 0:
+            peer.window.popleft()
+            peer.unacked -= 1
+            advanced = True
+        if advanced:
+            peer.snd_base = ack
+            peer.retries = 0
+            self._cancel_timer(peer)
+            if peer.window:
+                self._arm_timer(dst, peer)
+            self._drain_backlog(dst, peer)
+
+    def _drain_backlog(self, dst: MacAddress, peer: _PeerState) -> None:
+        while peer.backlog and peer.unacked < self.window_size:
+            frame = peer.backlog.popleft()
+            self._send_data(dst, peer, frame)
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+
+    def _arm_timer(self, dst: MacAddress, peer: _PeerState) -> None:
+        self._cancel_timer(peer)
+        peer.timer = self.sim.after(
+            self.rto_ns, lambda: self._on_timeout(dst, peer), "rll:rto"
+        )
+
+    def _cancel_timer(self, peer: _PeerState) -> None:
+        if peer.timer is not None:
+            peer.timer.cancel()
+            peer.timer = None
+
+    def _on_timeout(self, dst: MacAddress, peer: _PeerState) -> None:
+        peer.timer = None
+        if not peer.window:
+            return
+        peer.retries += 1
+        if peer.retries > self.max_retries:
+            # The peer is gone (e.g. a FAIL fault): abandon its traffic so
+            # the simulation can quiesce instead of retrying forever.
+            self.abandoned_frames += len(peer.window) + len(peer.backlog)
+            peer.window.clear()
+            peer.backlog.clear()
+            peer.unacked = 0
+            peer.retries = 0
+            return
+        # Go-back-N: resend everything outstanding, oldest first.
+        for seq, frame in peer.window:
+            self.retransmissions += 1
+            self._emit_data(dst, frame, seq, peer.rcv_next)
+        self._arm_timer(dst, peer)
+
+    def __repr__(self) -> str:
+        return (
+            f"RllLayer(window={self.window_size}, peers={len(self._peers)}, "
+            f"rtx={self.retransmissions})"
+        )

@@ -1,0 +1,120 @@
+"""Event queue for the discrete-event simulator.
+
+The queue is a binary heap keyed by ``(time, sequence)`` where *sequence* is
+a global insertion counter.  Ties at the same virtual instant therefore fire
+in the order they were scheduled, which makes every run deterministic without
+any reliance on hash ordering or object identity.
+
+Events are cancellable: :meth:`EventQueue.cancel` marks the handle and the
+event loop skips dead entries lazily (the standard heapq idiom), so
+cancellation is O(1) and pop stays O(log n) amortised.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from ..errors import SchedulingError
+
+#: Type of an event callback.  Callbacks take no arguments; bind state with
+#: closures or ``functools.partial`` at scheduling time.
+Callback = Callable[[], None]
+
+
+class EventHandle:
+    """A scheduled event, returned so the caller may cancel or inspect it."""
+
+    __slots__ = ("when", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, when: int, seq: int, callback: Callback, label: str) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback: Optional[Callback] = callback
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Safe to call more than once."""
+        self.cancelled = True
+        self.callback = None  # break reference cycles promptly
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not self.cancelled and self.callback is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.when}, seq={self.seq}, {state}, {self.label!r})"
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`EventHandle` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[EventHandle] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, when: int, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule *callback* at absolute time *when* and return its handle."""
+        if callback is None:
+            raise SchedulingError("cannot schedule a None callback")
+        handle = EventHandle(int(when), next(self._counter), callback, label)
+        heapq.heappush(self._heap, handle)
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel *handle*; the heap entry is discarded lazily on pop."""
+        if handle.pending:
+            handle.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the next live event, or None if empty."""
+        self._discard_dead()
+        return self._heap[0].when if self._heap else None
+
+    def pop(self) -> EventHandle:
+        """Remove and return the next live event.
+
+        Raises :class:`SchedulingError` when no live event remains.
+        """
+        self._discard_dead()
+        if not self._heap:
+            raise SchedulingError("pop from an empty event queue")
+        handle = heapq.heappop(self._heap)
+        self._live -= 1
+        return handle
+
+    def clear(self) -> None:
+        """Drop every pending event (used when tearing a simulator down)."""
+        for handle in self._heap:
+            handle.cancel()
+        self._heap.clear()
+        self._live = 0
+
+    def _discard_dead(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def snapshot(self) -> List[Any]:
+        """Return (time, label) for each live event, soonest first.
+
+        Intended for debugging and tests; the cost is O(n log n).
+        """
+        live = [h for h in self._heap if h.pending]
+        live.sort()
+        return [(h.when, h.label) for h in live]

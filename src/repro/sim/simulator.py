@@ -1,0 +1,201 @@
+"""The discrete-event simulator facade.
+
+:class:`Simulator` owns the clock, the event queue and the random registry,
+and exposes the scheduling API that every other subsystem uses:
+
+* :meth:`Simulator.at` / :meth:`Simulator.after` — schedule one-shot events;
+* :meth:`Simulator.every` — periodic tasks (returns a cancellable handle);
+* :meth:`Simulator.run` / :meth:`run_until` / :meth:`step` — drive the loop.
+
+The simulator is single-threaded by construction.  "Concurrency" between
+hosts is purely virtual: each scheduled callback runs to completion at one
+instant of virtual time, exactly as interrupt handlers do on a real testbed
+node, and the interleaving across nodes is governed only by event timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import SchedulingError, SimulationError
+from .clock import Clock, format_time
+from .events import Callback, EventHandle, EventQueue
+from .random import RandomRegistry
+
+
+class PeriodicHandle:
+    """Handle for a repeating task created with :meth:`Simulator.every`."""
+
+    __slots__ = ("_sim", "_interval", "_callback", "_label", "_event", "_stopped", "fires")
+
+    def __init__(self, sim: "Simulator", interval: int, callback: Callback, label: str) -> None:
+        if interval <= 0:
+            raise SchedulingError(f"periodic interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._label = label
+        self._stopped = False
+        self.fires = 0
+        self._event: Optional[EventHandle] = sim.after(interval, self._fire, label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fires += 1
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.after(self._interval, self._fire, self._label)
+
+    def stop(self) -> None:
+        """Stop the periodic task; safe to call multiple times."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class Simulator:
+    """Deterministic discrete-event simulation kernel."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.random = RandomRegistry(seed)
+        self.events_processed = 0
+        self._running = False
+        self._stop_requested = False
+        self._trace_hooks: List[Callable[[EventHandle], None]] = []
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self.clock.now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def at(self, when: int, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule *callback* at absolute virtual time *when*."""
+        if when < self.clock.now:
+            raise SchedulingError(
+                f"cannot schedule into the past: now={self.clock.now}, when={when}"
+            )
+        return self.queue.push(when, callback, label)
+
+    def after(self, delay: int, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule *callback* *delay* nanoseconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.queue.push(self.clock.now + delay, callback, label)
+
+    def every(self, interval: int, callback: Callback, label: str = "") -> PeriodicHandle:
+        """Run *callback* every *interval* nanoseconds until stopped.
+
+        The first firing happens one interval from now.
+        """
+        return PeriodicHandle(self, interval, callback, label)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled one-shot event."""
+        self.queue.cancel(handle)
+
+    # -- observation --------------------------------------------------------
+
+    def add_trace_hook(self, hook: Callable[[EventHandle], None]) -> None:
+        """Register a hook invoked before each event fires (for debugging)."""
+        self._trace_hooks.append(hook)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when the queue is empty."""
+        if not self.queue:
+            return False
+        handle = self.queue.pop()
+        self.clock.advance_to(handle.when)
+        callback = handle.callback
+        handle.callback = None  # the event is consumed; free the closure
+        for hook in self._trace_hooks:
+            hook(handle)
+        self.events_processed += 1
+        if callback is not None:
+            callback()
+        return True
+
+    def run(self, max_events: int = 50_000_000) -> None:
+        """Run until the queue drains or *max_events* have been processed.
+
+        The event cap guards against accidental infinite self-scheduling
+        loops; hitting it raises :class:`SimulationError` rather than hanging.
+        """
+        self._enter_run()
+        try:
+            remaining = max_events
+            while self.queue and not self._stop_requested:
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"event cap of {max_events} exceeded at "
+                        f"t={format_time(self.clock.now)}"
+                    )
+                self.step()
+                remaining -= 1
+        finally:
+            self._exit_run()
+
+    def run_until(self, deadline: int, max_events: int = 50_000_000) -> None:
+        """Run events with timestamps <= *deadline*, then set clock = deadline."""
+        if deadline < self.clock.now:
+            raise SchedulingError(
+                f"deadline {deadline} is before current time {self.clock.now}"
+            )
+        self._enter_run()
+        try:
+            remaining = max_events
+            while not self._stop_requested:
+                upcoming = self.queue.peek_time()
+                if upcoming is None or upcoming > deadline:
+                    break
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"event cap of {max_events} exceeded at "
+                        f"t={format_time(self.clock.now)}"
+                    )
+                self.step()
+                remaining -= 1
+            if not self._stop_requested:
+                self.clock.advance_to(deadline)
+        finally:
+            self._exit_run()
+
+    def run_for(self, duration: int, max_events: int = 50_000_000) -> None:
+        """Convenience wrapper: run for *duration* nanoseconds of virtual time."""
+        self.run_until(self.clock.now + duration, max_events)
+
+    def stop(self) -> None:
+        """Request the current :meth:`run`/:meth:`run_until` loop to exit.
+
+        Pending events stay queued; a subsequent run continues from them.
+        """
+        self._stop_requested = True
+
+    def _enter_run(self) -> None:
+        if self._running:
+            raise SimulationError("simulator run loop is not reentrant")
+        self._running = True
+        self._stop_requested = False
+
+    def _exit_run(self) -> None:
+        self._running = False
+        self._stop_requested = False
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(t={format_time(self.clock.now)}, "
+            f"pending={len(self.queue)}, processed={self.events_processed})"
+        )

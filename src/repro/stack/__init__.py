@@ -1,0 +1,26 @@
+"""Layered host protocol stack.
+
+Reproduces the structure the paper's engine splices into: NIC, device
+driver, an explicit frame chain with hook points (the Netfilter
+substitute), IPv4, UDP sockets, and a per-layer CPU cost model.
+"""
+
+from .costs import FREE, CostModel
+from .driver import DriverLayer
+from .ipstack import IpLayer
+from .layers import EthertypeDemux, FrameLayer, LayerChain
+from .node import Host
+from .udp_stack import UdpLayer, UdpSocket
+
+__all__ = [
+    "CostModel",
+    "DriverLayer",
+    "EthertypeDemux",
+    "FrameLayer",
+    "FREE",
+    "Host",
+    "IpLayer",
+    "LayerChain",
+    "UdpLayer",
+    "UdpSocket",
+]

@@ -1,0 +1,55 @@
+"""The device-driver layer: glue between the frame chain and the NIC.
+
+Charges the driver's CPU cost on both paths and decouples the NIC's
+delivery upcall from the rest of the stack through the simulator, so a
+received frame is processed in its own "softirq" event — the same structure
+Linux gives the paper's Netfilter hooks.
+"""
+
+from __future__ import annotations
+
+from ..net.nic import Nic
+from ..sim import Simulator
+from .costs import CostModel
+from .layers import FrameLayer
+
+
+class DriverLayer(FrameLayer):
+    """Bottom of every host's frame chain."""
+
+    def __init__(self, sim: Simulator, nic: Nic, costs: CostModel) -> None:
+        super().__init__(f"driver:{nic.name}")
+        self.sim = sim
+        self.nic = nic
+        self.costs = costs
+        self.tx_frames = 0
+        self.rx_frames = 0
+        nic.set_receive_handler(self._nic_receive)
+
+    def on_send(self, frame_bytes: bytes) -> None:
+        """Frame arriving from above: charge tx cost, then hit the wire."""
+        self.tx_frames += 1
+        if self.costs.driver_tx_ns > 0:
+            self.sim.after(
+                self.costs.driver_tx_ns,
+                lambda: self.nic.transmit(frame_bytes),
+                f"{self.name}:tx",
+            )
+        else:
+            self.nic.transmit(frame_bytes)
+
+    def _nic_receive(self, frame_bytes: bytes) -> None:
+        """NIC upcall: charge rx cost, then continue up the chain."""
+        self.rx_frames += 1
+        if self.costs.driver_rx_ns > 0:
+            self.sim.after(
+                self.costs.driver_rx_ns,
+                lambda: self.pass_up(frame_bytes),
+                f"{self.name}:rx",
+            )
+        else:
+            self.pass_up(frame_bytes)
+
+    def on_receive(self, frame_bytes: bytes) -> None:
+        # Nothing sits below the driver; reception enters via the NIC upcall.
+        raise RuntimeError("driver layer receives frames only from its NIC")

@@ -1,0 +1,128 @@
+"""The IPv4 layer of a host.
+
+Routing is the degenerate LAN case the paper's testbeds use: every
+destination is on-link, resolved through a static neighbour table the
+testbed builder fills in (no ARP traffic to pollute fault scripts).
+Received packets are checksum-verified and demultiplexed to the registered
+transport protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Union
+
+from ..errors import ChecksumError, PacketError, StackError
+from ..net.addresses import IpAddress, MacAddress
+from ..net.frame import ETHERTYPE_IPV4, EthernetFrame
+from ..net.ip import Ipv4Packet
+from ..sim import Simulator
+from .costs import CostModel
+from .layers import EthertypeDemux
+
+#: Transport handler: (ip_packet) -> None.
+ProtocolHandler = Callable[[Ipv4Packet], None]
+
+
+class IpLayer:
+    """Minimal IPv4 input/output with static neighbour resolution."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        demux: EthertypeDemux,
+        local_mac: MacAddress,
+        local_ip: IpAddress,
+        costs: CostModel,
+    ) -> None:
+        self.sim = sim
+        self.demux = demux
+        self.local_mac = local_mac
+        self.local_ip = local_ip
+        self.costs = costs
+        self._neighbors: Dict[IpAddress, MacAddress] = {local_ip: local_mac}
+        self._protocols: Dict[int, ProtocolHandler] = {}
+        self._ident = itertools.count(1)
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.checksum_drops = 0
+        self.misaddressed_drops = 0
+        self.unclaimed_protocol_drops = 0
+        demux.register(ETHERTYPE_IPV4, self._receive_frame)
+
+    # -- configuration ------------------------------------------------------
+
+    def add_neighbor(self, ip: Union[str, IpAddress], mac: Union[str, MacAddress]) -> None:
+        """Install a static IP-to-MAC binding (the testbed's ARP substitute)."""
+        self._neighbors[IpAddress(ip)] = MacAddress(mac)
+
+    def resolve(self, ip: Union[str, IpAddress]) -> MacAddress:
+        """Return the MAC for an on-link IP, raising if it is unknown."""
+        ip = IpAddress(ip)
+        try:
+            return self._neighbors[ip]
+        except KeyError:
+            raise StackError(f"no neighbour entry for {ip} on {self.local_ip}") from None
+
+    def register_protocol(self, protocol: int, handler: ProtocolHandler) -> None:
+        if protocol in self._protocols:
+            raise StackError(f"IP protocol {protocol} already registered")
+        self._protocols[protocol] = handler
+
+    # -- output path --------------------------------------------------------
+
+    def send(self, dst_ip: Union[str, IpAddress], protocol: int, payload: bytes) -> None:
+        """Wrap *payload* in IPv4+Ethernet and push it down the frame chain."""
+        dst_ip = IpAddress(dst_ip)
+        packet = Ipv4Packet(
+            src=self.local_ip,
+            dst=dst_ip,
+            protocol=protocol,
+            payload=payload,
+            ident=next(self._ident) & 0xFFFF,
+        )
+        frame = EthernetFrame(
+            dst=self.resolve(dst_ip),
+            src=self.local_mac,
+            ethertype=ETHERTYPE_IPV4,
+            payload=packet.to_bytes(),
+        )
+        self.tx_packets += 1
+        if self.costs.ip_ns > 0:
+            self.sim.after(
+                self.costs.ip_ns,
+                lambda: self.demux.send_frame(frame),
+                "ip:tx",
+            )
+        else:
+            self.demux.send_frame(frame)
+
+    # -- input path ---------------------------------------------------------
+
+    def _receive_frame(self, frame_bytes: bytes) -> None:
+        try:
+            packet = Ipv4Packet.from_bytes(frame_bytes[14:], verify=True)
+        except ChecksumError:
+            self.checksum_drops += 1
+            return
+        except PacketError:
+            self.checksum_drops += 1
+            return
+        if packet.dst != self.local_ip:
+            self.misaddressed_drops += 1
+            return
+        if self.costs.ip_ns > 0:
+            self.sim.after(self.costs.ip_ns, lambda: self._dispatch(packet), "ip:rx")
+        else:
+            self._dispatch(packet)
+
+    def _dispatch(self, packet: Ipv4Packet) -> None:
+        handler = self._protocols.get(packet.protocol)
+        if handler is None:
+            self.unclaimed_protocol_drops += 1
+            return
+        self.rx_packets += 1
+        handler(packet)
+
+    def __repr__(self) -> str:
+        return f"IpLayer({self.local_ip}, {len(self._neighbors)} neighbours)"

@@ -1,0 +1,91 @@
+"""A testbed host: NIC + frame chain + IP/UDP/TCP stack.
+
+The host is the unit the paper's Node Table names (hostname, MAC address,
+IP address).  ``FAIL(node)`` faults call :meth:`Host.fail`, which models a
+crash: the NIC goes down and the alive flag flips, so the node neither
+sends nor receives — but no graceful shutdown happens anywhere, exactly
+like pulling the power.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..net.addresses import IpAddress, MacAddress
+from ..net.nic import Nic
+from ..sim import Simulator
+from .costs import CostModel
+from .driver import DriverLayer
+from .layers import LayerChain
+from .ipstack import IpLayer
+from .udp_stack import UdpLayer
+
+
+class Host:
+    """One testbed node with a full protocol stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: Union[str, MacAddress],
+        ip: Union[str, IpAddress],
+        costs: Optional[CostModel] = None,
+        install_tcp: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.costs = costs if costs is not None else CostModel()
+        self.is_alive = True
+        self.nic = Nic(sim, mac, name=f"{name}-eth0")
+        self.chain = LayerChain(sim, self)
+        self.driver = DriverLayer(sim, self.nic, self.costs)
+        self.chain.set_bottom(self.driver)
+        self.ip_layer = IpLayer(
+            sim, self.chain.demux, self.nic.mac, IpAddress(ip), self.costs
+        )
+        self.udp = UdpLayer(sim, self.ip_layer, self.costs)
+        self.tcp = None
+        if install_tcp:
+            # Local import: repro.tcp builds on repro.stack, not vice versa.
+            from ..tcp.layer import TcpLayer
+
+            self.tcp = TcpLayer(sim, self, self.costs)
+        self.rether = None  # installed on demand by repro.rether
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def mac(self) -> MacAddress:
+        return self.nic.mac
+
+    @property
+    def ip(self) -> IpAddress:
+        return self.ip_layer.local_ip
+
+    # -- configuration ----------------------------------------------------------
+
+    def add_neighbor(self, ip: Union[str, IpAddress], mac: Union[str, MacAddress]) -> None:
+        """Teach this host another station's IP-to-MAC binding."""
+        self.ip_layer.add_neighbor(ip, mac)
+
+    def learn_neighbors(self, hosts) -> None:
+        """Add neighbour entries for every host in *hosts* (self included OK)."""
+        for other in hosts:
+            self.ip_layer.add_neighbor(other.ip, other.mac)
+
+    # -- fault hooks ------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash the node (the FAIL(node) fault primitive)."""
+        self.is_alive = False
+        self.nic.bring_down()
+
+    def recover(self) -> None:
+        """Bring a crashed node back (used by extension scenarios)."""
+        self.is_alive = True
+        self.nic.bring_up()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "FAILED"
+        return f"Host({self.name}, {self.mac}, {self.ip}, {state})"

@@ -1,0 +1,129 @@
+"""UDP layer and datagram sockets."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from ..errors import ChecksumError, PacketError, SocketError
+from ..net.addresses import IpAddress
+from ..net.ip import PROTO_UDP, Ipv4Packet
+from ..net.udp import UdpDatagram
+from ..sim import Simulator
+from .costs import CostModel
+from .ipstack import IpLayer
+
+#: Socket upcall: (payload, src_ip, src_port) -> None.
+DatagramHandler = Callable[[bytes, IpAddress, int], None]
+
+_EPHEMERAL_BASE = 49152
+
+
+class UdpSocket:
+    """A bound UDP endpoint."""
+
+    def __init__(self, layer: "UdpLayer", port: int) -> None:
+        self._layer = layer
+        self.port = port
+        self.on_receive: Optional[DatagramHandler] = None
+        self.closed = False
+        self.tx_datagrams = 0
+        self.rx_datagrams = 0
+
+    def sendto(self, payload: bytes, dst_ip: Union[str, IpAddress], dst_port: int) -> None:
+        """Send *payload* to (dst_ip, dst_port)."""
+        if self.closed:
+            raise SocketError(f"sendto on closed UDP socket port {self.port}")
+        self.tx_datagrams += 1
+        self._layer.send_datagram(self.port, IpAddress(dst_ip), dst_port, payload)
+
+    def deliver(self, payload: bytes, src_ip: IpAddress, src_port: int) -> None:
+        """Called by the layer when a datagram for this socket arrives."""
+        self.rx_datagrams += 1
+        if self.on_receive is not None:
+            self.on_receive(payload, src_ip, src_port)
+
+    def close(self) -> None:
+        """Release the port; safe to call twice."""
+        if not self.closed:
+            self.closed = True
+            self._layer.release_port(self.port)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"UdpSocket(port={self.port}, {state})"
+
+
+class UdpLayer:
+    """Port demultiplexing and checksummed datagram I/O over an IpLayer."""
+
+    def __init__(self, sim: Simulator, ip_layer: IpLayer, costs: CostModel) -> None:
+        self.sim = sim
+        self.ip_layer = ip_layer
+        self.costs = costs
+        self._sockets: Dict[int, UdpSocket] = {}
+        self._next_ephemeral = _EPHEMERAL_BASE
+        self.checksum_drops = 0
+        self.unclaimed_port_drops = 0
+        ip_layer.register_protocol(PROTO_UDP, self._receive)
+
+    # -- socket management ----------------------------------------------------
+
+    def bind(self, port: int = 0) -> UdpSocket:
+        """Bind a socket to *port* (0 picks an ephemeral port)."""
+        if port == 0:
+            port = self._pick_ephemeral()
+        if port in self._sockets:
+            raise SocketError(f"UDP port {port} is already bound")
+        socket = UdpSocket(self, port)
+        self._sockets[port] = socket
+        return socket
+
+    def release_port(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def _pick_ephemeral(self) -> int:
+        for _ in range(0xFFFF - _EPHEMERAL_BASE):
+            candidate = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 0xFFFF:
+                self._next_ephemeral = _EPHEMERAL_BASE
+            if candidate not in self._sockets:
+                return candidate
+        raise SocketError("ephemeral UDP port space exhausted")
+
+    # -- datapath -------------------------------------------------------------
+
+    def send_datagram(
+        self, src_port: int, dst_ip: IpAddress, dst_port: int, payload: bytes
+    ) -> None:
+        datagram = UdpDatagram(src_port, dst_port, payload)
+        wire = datagram.to_bytes(self.ip_layer.local_ip, dst_ip)
+        if self.costs.udp_ns > 0:
+            self.sim.after(
+                self.costs.udp_ns,
+                lambda: self.ip_layer.send(dst_ip, PROTO_UDP, wire),
+                "udp:tx",
+            )
+        else:
+            self.ip_layer.send(dst_ip, PROTO_UDP, wire)
+
+    def _receive(self, packet: Ipv4Packet) -> None:
+        try:
+            datagram = UdpDatagram.from_bytes(
+                packet.payload, packet.src, packet.dst, verify=True
+            )
+        except (ChecksumError, PacketError):
+            self.checksum_drops += 1
+            return
+        socket = self._sockets.get(datagram.dst_port)
+        if socket is None:
+            self.unclaimed_port_drops += 1
+            return
+        if self.costs.udp_ns > 0:
+            self.sim.after(
+                self.costs.udp_ns,
+                lambda: socket.deliver(datagram.payload, packet.src, datagram.src_port),
+                "udp:rx",
+            )
+        else:
+            socket.deliver(datagram.payload, packet.src, datagram.src_port)

@@ -1,0 +1,54 @@
+"""Send-side byte buffering for TCP.
+
+A queue of byte chunks with an offset into the head chunk, so appending and
+popping both run in amortised O(chunk) regardless of how much data the
+application has queued (a plain bytearray would cost O(n^2) over a long
+bulk transfer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+
+class SendBuffer:
+    """FIFO byte stream with efficient front removal."""
+
+    def __init__(self) -> None:
+        self._chunks: Deque[bytes] = deque()
+        self._head_offset = 0
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, data: bytes) -> None:
+        """Queue *data* for transmission."""
+        if data:
+            self._chunks.append(bytes(data))
+            self._length += len(data)
+
+    def pop(self, nbytes: int) -> bytes:
+        """Remove and return up to *nbytes* from the front."""
+        if nbytes <= 0 or self._length == 0:
+            return b""
+        parts = []
+        need = min(nbytes, self._length)
+        while need > 0:
+            head = self._chunks[0]
+            available = len(head) - self._head_offset
+            take = min(available, need)
+            parts.append(head[self._head_offset : self._head_offset + take])
+            need -= take
+            self._length -= take
+            self._head_offset += take
+            if self._head_offset == len(head):
+                self._chunks.popleft()
+                self._head_offset = 0
+        return b"".join(parts)
+
+    def clear(self) -> None:
+        self._chunks.clear()
+        self._head_offset = 0
+        self._length = 0

@@ -1,0 +1,216 @@
+"""The host-level TCP layer: demultiplexing, listeners, segment I/O."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..errors import ChecksumError, PacketError, SocketError
+from ..net.addresses import IpAddress
+from ..net.ip import PROTO_TCP, Ipv4Packet
+from ..net.tcp_segment import FLAG_ACK, FLAG_RST, TcpSegment
+from ..sim import Simulator
+from .congestion import CongestionControl
+from .connection import TcpConnection, TcpState
+
+#: Factory the layer calls to build a congestion module per connection.
+CongestionFactory = Callable[[], CongestionControl]
+
+_EPHEMERAL_BASE = 32768
+_ConnKey = Tuple[int, str, int]
+
+
+class TcpListener:
+    """A passive socket accepting connections on a port."""
+
+    def __init__(
+        self,
+        layer: "TcpLayer",
+        port: int,
+        on_accept: Optional[Callable[[TcpConnection], None]] = None,
+        congestion_factory: Optional[CongestionFactory] = None,
+    ) -> None:
+        self.layer = layer
+        self.port = port
+        self.on_accept = on_accept
+        self.congestion_factory = congestion_factory
+        self.accepted = 0
+        self.closed = False
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.layer._listeners.pop(self.port, None)
+
+    def _incoming_syn(self, packet: Ipv4Packet, seg: TcpSegment) -> TcpConnection:
+        factory = self.congestion_factory or self.layer.congestion_factory
+        conn = self.layer._create_connection(
+            local_port=self.port,
+            remote_ip=packet.src,
+            remote_port=seg.src_port,
+            congestion=factory(),
+        )
+        conn.open_passive(seg)
+        self.accepted += 1
+        if self.on_accept is not None:
+            self.on_accept(conn)
+        return conn
+
+
+class TcpLayer:
+    """Registers with the IP layer and owns all TCP state on a host."""
+
+    def __init__(self, sim: Simulator, host, costs) -> None:
+        self.sim = sim
+        self.host = host
+        self.costs = costs
+        self.congestion_factory: CongestionFactory = CongestionControl
+        self._connections: Dict[_ConnKey, TcpConnection] = {}
+        self._listeners: Dict[int, TcpListener] = {}
+        self._next_ephemeral = _EPHEMERAL_BASE
+        self._iss_stream = sim.random.stream(f"tcp:iss:{host.name}")
+        self.checksum_drops = 0
+        self.resets_sent = 0
+        self.orphan_segments = 0
+        host.ip_layer.register_protocol(PROTO_TCP, self._receive)
+
+    # -- public API --------------------------------------------------------
+
+    def connect(
+        self,
+        remote_ip: Union[str, IpAddress],
+        remote_port: int,
+        local_port: int = 0,
+        congestion: Optional[CongestionControl] = None,
+        on_established: Optional[Callable[[], None]] = None,
+    ) -> TcpConnection:
+        """Open an active connection; returns immediately with the
+
+        connection object while the handshake proceeds in virtual time.
+        """
+        remote_ip = IpAddress(remote_ip)
+        if local_port == 0:
+            local_port = self._pick_ephemeral(remote_ip, remote_port)
+        conn = self._create_connection(
+            local_port=local_port,
+            remote_ip=remote_ip,
+            remote_port=remote_port,
+            congestion=congestion or self.congestion_factory(),
+        )
+        if on_established is not None:
+            conn.on_established = on_established
+        conn.open_active()
+        return conn
+
+    def listen(
+        self,
+        port: int,
+        on_accept: Optional[Callable[[TcpConnection], None]] = None,
+        congestion_factory: Optional[CongestionFactory] = None,
+    ) -> TcpListener:
+        """Start accepting connections on *port*."""
+        if port in self._listeners:
+            raise SocketError(f"TCP port {port} is already listening")
+        listener = TcpListener(self, port, on_accept, congestion_factory)
+        self._listeners[port] = listener
+        return listener
+
+    def connections(self):
+        """Snapshot of live connections (order is deterministic)."""
+        return list(self._connections.values())
+
+    # -- plumbing used by TcpConnection -------------------------------------
+
+    def send_segment(self, conn: TcpConnection, seg: TcpSegment) -> None:
+        """Serialise and hand a segment to IP, charging the TCP CPU cost."""
+        wire = seg.to_bytes(self.host.ip_layer.local_ip, conn.remote_ip)
+
+        def down() -> None:
+            self.host.ip_layer.send(conn.remote_ip, PROTO_TCP, wire)
+
+        if self.costs.tcp_ns > 0:
+            self.sim.after(self.costs.tcp_ns, down, "tcp:tx")
+        else:
+            down()
+
+    def forget(self, conn: TcpConnection) -> None:
+        """Remove a closed connection from the demux table."""
+        self._connections.pop(self._key(conn.local_port, conn.remote_ip, conn.remote_port), None)
+
+    # -- internals ------------------------------------------------------------
+
+    def _create_connection(
+        self,
+        local_port: int,
+        remote_ip: IpAddress,
+        remote_port: int,
+        congestion: CongestionControl,
+    ) -> TcpConnection:
+        key = self._key(local_port, remote_ip, remote_port)
+        if key in self._connections:
+            raise SocketError(f"connection {key} already exists")
+        conn = TcpConnection(
+            layer=self,
+            local_port=local_port,
+            remote_ip=remote_ip,
+            remote_port=remote_port,
+            congestion=congestion,
+            iss=self._iss_stream.randint(0, (1 << 31) - 1),
+        )
+        self._connections[key] = conn
+        return conn
+
+    def _pick_ephemeral(self, remote_ip: IpAddress, remote_port: int) -> int:
+        for _ in range(0xFFFF - _EPHEMERAL_BASE):
+            candidate = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 0xFFFF:
+                self._next_ephemeral = _EPHEMERAL_BASE
+            if self._key(candidate, remote_ip, remote_port) not in self._connections:
+                return candidate
+        raise SocketError("ephemeral TCP port space exhausted")
+
+    @staticmethod
+    def _key(local_port: int, remote_ip: IpAddress, remote_port: int) -> _ConnKey:
+        return (local_port, str(remote_ip), remote_port)
+
+    def _receive(self, packet: Ipv4Packet) -> None:
+        try:
+            seg = TcpSegment.from_bytes(packet.payload, packet.src, packet.dst, verify=True)
+        except (ChecksumError, PacketError):
+            self.checksum_drops += 1
+            return
+
+        def up() -> None:
+            self._dispatch(packet, seg)
+
+        if self.costs.tcp_ns > 0:
+            self.sim.after(self.costs.tcp_ns, up, "tcp:rx")
+        else:
+            up()
+
+    def _dispatch(self, packet: Ipv4Packet, seg: TcpSegment) -> None:
+        conn = self._connections.get(self._key(seg.dst_port, packet.src, seg.src_port))
+        if conn is not None and conn.state is not TcpState.CLOSED:
+            conn.handle_segment(seg)
+            return
+        listener = self._listeners.get(seg.dst_port)
+        if listener is not None and seg.is_syn and not seg.is_ack:
+            listener._incoming_syn(packet, seg)
+            return
+        self.orphan_segments += 1
+        if not seg.is_rst:
+            self._send_reset(packet, seg)
+
+    def _send_reset(self, packet: Ipv4Packet, seg: TcpSegment) -> None:
+        self.resets_sent += 1
+        rst_seq = seg.ack if seg.is_ack else 0
+        rst = TcpSegment(
+            seg.dst_port,
+            seg.src_port,
+            rst_seq,
+            (seg.seq + seg.seq_space) & 0xFFFFFFFF,
+            FLAG_RST | FLAG_ACK,
+            0,
+        )
+        wire = rst.to_bytes(self.host.ip_layer.local_ip, packet.src)
+        self.host.ip_layer.send(packet.src, PROTO_TCP, wire)

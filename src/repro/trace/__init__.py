@@ -1,0 +1,5 @@
+"""Packet capture and offline trace inspection (the tcpdump substitute)."""
+
+from .recorder import TapLayer, TraceRecord, TraceRecorder
+
+__all__ = ["TapLayer", "TraceRecord", "TraceRecorder"]

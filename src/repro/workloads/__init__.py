@@ -1,0 +1,14 @@
+"""Traffic generators used by the examples, tests and benchmarks."""
+
+from .bulk import BulkReceiver, BulkSender, PacedSender
+from .echo import EchoClient, EchoServer
+from .onoff import OnOffSource
+
+__all__ = [
+    "BulkReceiver",
+    "BulkSender",
+    "EchoClient",
+    "EchoServer",
+    "OnOffSource",
+    "PacedSender",
+]

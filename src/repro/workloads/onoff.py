@@ -1,0 +1,64 @@
+"""An on/off UDP source for background-traffic and fault-matrix tests."""
+
+from __future__ import annotations
+
+from ..sim import Simulator
+from ..stack.node import Host
+
+
+class OnOffSource:
+    """Sends UDP datagrams in exponentially distributed on/off bursts."""
+
+    def __init__(
+        self,
+        host: Host,
+        dst_ip,
+        dst_port: int,
+        rate_pps: float = 1000.0,
+        mean_on_ns: int = 10_000_000,
+        mean_off_ns: int = 10_000_000,
+        payload_size: int = 512,
+    ) -> None:
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.rate_pps = rate_pps
+        self.mean_on_ns = mean_on_ns
+        self.mean_off_ns = mean_off_ns
+        self.payload_size = payload_size
+        self.socket = host.udp.bind(0)
+        self.sent = 0
+        self._running = False
+        self._on = False
+        self._rng = self.sim.random.stream(f"onoff:{host.name}")
+
+    def start(self) -> None:
+        self._running = True
+        self._enter_on()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _enter_on(self) -> None:
+        if not self._running:
+            return
+        self._on = True
+        span = int(self._rng.exponential(self.mean_on_ns)) + 1
+        self.sim.after(span, self._enter_off, "onoff:off")
+        self._emit()
+
+    def _enter_off(self) -> None:
+        self._on = False
+        if not self._running:
+            return
+        span = int(self._rng.exponential(self.mean_off_ns)) + 1
+        self.sim.after(span, self._enter_on, "onoff:on")
+
+    def _emit(self) -> None:
+        if not self._running or not self._on:
+            return
+        self.socket.sendto(bytes(self.payload_size), self.dst_ip, self.dst_port)
+        self.sent += 1
+        gap = max(1, int(1e9 / self.rate_pps))
+        self.sim.after(gap, self._emit, "onoff:emit")

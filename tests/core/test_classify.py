@@ -1,0 +1,168 @@
+"""Tests for packet classification: linear scan, masks, VAR binding."""
+
+from repro.core.classify import Classifier
+from repro.core.tables import FilterEntry, FilterTable, FilterTuple, VarRef
+from repro.net import FLAG_ACK, FLAG_SYN, TcpSegment, build_tcp_frame
+
+SRC_MAC = "02:00:00:00:00:01"
+DST_MAC = "02:00:00:00:00:02"
+
+
+def tcp_frame(src_port, dst_port, flags, seq=100):
+    seg = TcpSegment(src_port, dst_port, seq, 0, flags, 512)
+    return build_tcp_frame(
+        SRC_MAC, DST_MAC, "10.0.0.1", "10.0.0.2", seg
+    ).to_bytes()
+
+
+def paper_filter_table():
+    """The Fig 2 table (without the VAR retransmission entries)."""
+    return FilterTable(
+        [
+            FilterEntry(
+                "TCP_syn",
+                (
+                    FilterTuple(34, 2, 0x6000),
+                    FilterTuple(36, 2, 0x4000),
+                    FilterTuple(47, 1, 0x02, mask=0x02),
+                ),
+            ),
+            FilterEntry(
+                "TCP_synack",
+                (
+                    FilterTuple(34, 2, 0x4000),
+                    FilterTuple(36, 2, 0x6000),
+                    FilterTuple(47, 1, 0x12, mask=0x12),
+                ),
+            ),
+            FilterEntry(
+                "TCP_data",
+                (
+                    FilterTuple(34, 2, 0x6000),
+                    FilterTuple(36, 2, 0x4000),
+                    FilterTuple(47, 1, 0x10, mask=0x10),
+                ),
+            ),
+            FilterEntry(
+                "TCP_ack",
+                (
+                    FilterTuple(34, 2, 0x4000),
+                    FilterTuple(36, 2, 0x6000),
+                    FilterTuple(47, 1, 0x10, mask=0x10),
+                ),
+            ),
+        ]
+    )
+
+
+class TestPaperClassification:
+    def test_syn(self):
+        classifier = Classifier(paper_filter_table())
+        name, scanned = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_SYN))
+        assert name == "TCP_syn" and scanned == 1
+
+    def test_synack_not_misclassified_as_ack(self):
+        """A SYNACK satisfies TCP_ack's mask too; first match must win."""
+        classifier = Classifier(paper_filter_table())
+        name, scanned = classifier.classify(
+            tcp_frame(0x4000, 0x6000, FLAG_SYN | FLAG_ACK)
+        )
+        assert name == "TCP_synack" and scanned == 2
+
+    def test_data(self):
+        classifier = Classifier(paper_filter_table())
+        name, scanned = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK))
+        assert name == "TCP_data" and scanned == 3
+
+    def test_pure_ack(self):
+        classifier = Classifier(paper_filter_table())
+        name, scanned = classifier.classify(tcp_frame(0x4000, 0x6000, FLAG_ACK))
+        assert name == "TCP_ack" and scanned == 4
+
+    def test_unmatched_scans_whole_table(self):
+        classifier = Classifier(paper_filter_table())
+        name, scanned = classifier.classify(tcp_frame(0x1111, 0x2222, FLAG_ACK))
+        assert name is None and scanned == 4
+        assert classifier.packets_unmatched == 1
+
+    def test_scan_accounting(self):
+        classifier = Classifier(paper_filter_table())
+        classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_SYN))
+        classifier.classify(tcp_frame(0x4000, 0x6000, FLAG_ACK))
+        assert classifier.entries_scanned_total == 5
+        assert classifier.packets_classified == 2
+
+
+class TestBoundsAndMasks:
+    def test_short_packet_cannot_match(self):
+        table = FilterTable([FilterEntry("deep", (FilterTuple(100, 4, 1),))])
+        classifier = Classifier(table)
+        name, _ = classifier.classify(bytes(50))
+        assert name is None
+
+    def test_mask_semantics(self):
+        table = FilterTable(
+            [FilterEntry("flag", (FilterTuple(0, 1, 0x10, mask=0x10),))]
+        )
+        classifier = Classifier(table)
+        assert classifier.classify(bytes([0x18]))[0] == "flag"  # 0x18 & 0x10
+        assert classifier.classify(bytes([0x08]))[0] is None
+
+    def test_exact_match_without_mask(self):
+        table = FilterTable([FilterEntry("x", (FilterTuple(0, 2, 0x9900),))])
+        classifier = Classifier(table)
+        assert classifier.classify(b"\x99\x00rest")[0] == "x"
+        assert classifier.classify(b"\x99\x01rest")[0] is None
+
+
+class TestVarBinding:
+    def table(self):
+        return FilterTable(
+            [
+                FilterEntry(
+                    "rt1",
+                    (
+                        FilterTuple(34, 2, 0x6000),
+                        FilterTuple(38, 4, VarRef("SeqNo")),
+                        FilterTuple(47, 1, 0x10, mask=0x10),
+                    ),
+                )
+            ]
+        )
+
+    def test_first_match_binds(self):
+        classifier = Classifier(self.table())
+        name, _ = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=777))
+        assert name == "rt1"
+        assert classifier.vars.get("SeqNo") == 777
+
+    def test_retransmission_detection(self):
+        """After binding, only packets with the SAME sequence match —
+
+        which is exactly how the paper's rt filters detect retransmission
+        of a specific packet.
+        """
+        classifier = Classifier(self.table())
+        classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=777))
+        fresh, _ = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=778))
+        assert fresh is None
+        again, _ = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=777))
+        assert again == "rt1"
+
+    def test_no_binding_on_failed_match(self):
+        """A tuple failure later in the entry must not leak VAR bindings."""
+        table = FilterTable(
+            [
+                FilterEntry(
+                    "picky",
+                    (
+                        FilterTuple(38, 4, VarRef("SeqNo")),
+                        FilterTuple(34, 2, 0x1234),  # will not match
+                    ),
+                )
+            ]
+        )
+        classifier = Classifier(table)
+        name, _ = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=555))
+        assert name is None
+        assert classifier.vars.get("SeqNo") is None

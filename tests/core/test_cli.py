@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.scripts import rether_failover_script, tcp_congestion_script
+
+NODES_2 = """NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END"""
+
+NODES_4 = NODES_2.replace(
+    "END",
+    """  node3 02:00:00:00:00:03 192.168.1.3
+  node4 02:00:00:00:00:04 192.168.1.4
+END""",
+)
+
+
+@pytest.fixture
+def fig5_path(tmp_path):
+    path = tmp_path / "fig5.fsl"
+    path.write_text(tcp_congestion_script(NODES_2))
+    return str(path)
+
+
+@pytest.fixture
+def fig6_path(tmp_path):
+    path = tmp_path / "fig6.fsl"
+    path.write_text(rether_failover_script(NODES_4))
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCheck:
+    def test_valid_script(self, fig5_path):
+        code, text = run_cli("check", fig5_path)
+        assert code == 0
+        assert "TCP_SS_CA_algo" in text
+        assert "filters=3" in text
+
+    def test_syntax_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.fsl"
+        bad.write_text("SCENARIO broken\n  ((X > )) >> STOP;\nEND")
+        code, text = run_cli("check", str(bad))
+        assert code == 2
+        assert "error" in text
+
+    def test_missing_file(self):
+        code, text = run_cli("check", "/nonexistent.fsl")
+        assert code == 2
+
+
+class TestTables:
+    def test_fig6_dump_shows_distribution(self, fig6_path):
+        code, text = run_cli("tables", fig6_path)
+        assert code == 0
+        assert "FILTER TABLE" in text
+        assert "tr_token" in text
+        assert "home node2" in text  # TokensTo2
+        assert "FAIL" in text and "@ node3" in text  # the remote action
+        assert "STOP" in text
+
+    def test_fig5_dump_shows_fault(self, fig5_path):
+        code, text = run_cli("tables", fig5_path)
+        assert "DROP(TCP_synack" in text.replace(" ,", ",") or "DROP" in text
+        assert "disabled at start" in text  # ENABLE_CNTR targets
+
+
+class TestLint:
+    def test_clean_script(self, fig6_path):
+        code, text = run_cli("lint", fig6_path)
+        assert code == 0
+
+    def test_findings_printed(self, tmp_path):
+        dirty = tmp_path / "dirty.fsl"
+        dirty.write_text(
+            """
+FILTER_TABLE
+  p: (12 2 0x0800)
+END
+"""
+            + NODES_2
+            + """
+SCENARIO s
+  A: (p, node1, node2, RECV)
+  Orphan: (node1)
+  ((A = 1)) >> STOP;
+END
+"""
+        )
+        code, text = run_cli("lint", str(dirty))
+        assert code == 0  # advisory by default
+        assert "unused-counter" in text
+
+    def test_strict_fails_on_warnings(self, tmp_path):
+        dirty = tmp_path / "dirty.fsl"
+        dirty.write_text(
+            """
+FILTER_TABLE
+  p: (12 2 0x0800)
+END
+"""
+            + NODES_2
+            + """
+SCENARIO s
+  A: (p, node1, node2, RECV)
+  Orphan: (node1)
+  ((A = 1)) >> STOP;
+END
+"""
+        )
+        code, _ = run_cli("lint", str(dirty), "--strict")
+        assert code == 1
+
+    def test_strict_passes_clean(self, fig6_path):
+        code, _ = run_cli("lint", fig6_path, "--strict")
+        assert code == 0
+
+
+class TestScenarios:
+    def test_listing(self, tmp_path):
+        multi = tmp_path / "multi.fsl"
+        multi.write_text(
+            NODES_2
+            + """
+SCENARIO first 1sec END
+SCENARIO second END
+"""
+        )
+        code, text = run_cli("scenarios", str(multi))
+        assert code == 0
+        assert "first" in text and "second" in text
+        assert "timeout=1.000000s" in text
+
+    def test_scenario_selection(self, tmp_path):
+        multi = tmp_path / "multi.fsl"
+        multi.write_text(
+            """
+FILTER_TABLE
+  p: (12 2 0x0800)
+END
+"""
+            + NODES_2
+            + """
+SCENARIO first
+  A: (p, node1, node2, RECV)
+  ((A = 1)) >> STOP;
+END
+SCENARIO second
+  B: (p, node1, node2, SEND)
+  ((B = 9)) >> FLAG_ERROR;
+END
+"""
+        )
+        code, text = run_cli("check", str(multi), "--scenario", "second")
+        assert code == 0
+        assert "second" in text

@@ -1,0 +1,45 @@
+"""Tests for control-plane message encoding."""
+
+import pytest
+
+from repro.core.control import ControlMessage, ControlType
+from repro.errors import ControlPlaneError
+from repro.net import ETHERTYPE_VW_CONTROL, EthernetFrame
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("msg_type", list(ControlType))
+    def test_every_type_roundtrips(self, msg_type):
+        msg = ControlMessage(msg_type, a=7, b=12345)
+        parsed = ControlMessage.parse(msg.to_payload())
+        assert parsed == msg
+
+    def test_negative_counter_value(self):
+        """Counters can be negative (Fig 5 checks CanTx < 0)."""
+        msg = ControlMessage(ControlType.COUNTER_UPDATE, a=3, b=-42)
+        assert ControlMessage.parse(msg.to_payload()).b == -42
+
+    def test_large_counter_value(self):
+        msg = ControlMessage(ControlType.COUNTER_UPDATE, a=0, b=10**15)
+        assert ControlMessage.parse(msg.to_payload()).b == 10**15
+
+    def test_wrap_produces_control_ethertype(self):
+        frame = ControlMessage(ControlType.START, 1).wrap(
+            "02:00:00:00:00:02", "02:00:00:00:00:01"
+        )
+        assert frame.ethertype == ETHERTYPE_VW_CONTROL
+        reparsed = ControlMessage.parse(
+            EthernetFrame.from_bytes(frame.to_bytes()).payload
+        )
+        assert reparsed.msg_type is ControlType.START
+
+
+class TestRejection:
+    def test_short_payload(self):
+        with pytest.raises(ControlPlaneError):
+            ControlMessage.parse(b"\x01\x00")
+
+    def test_unknown_type(self):
+        good = ControlMessage(ControlType.START, 0).to_payload()
+        with pytest.raises(ControlPlaneError):
+            ControlMessage.parse(b"\xee" + good[1:])

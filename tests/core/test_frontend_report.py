@@ -1,0 +1,154 @@
+"""Tests for scenario orchestration and verdict assembly."""
+
+import pytest
+
+from repro.core.report import EndReason, ErrorRecord, ScenarioReport
+from repro.errors import ScenarioError
+from repro.sim import ms, seconds
+from tests.conftest import make_testbed
+
+SCRIPT = """
+FILTER_TABLE
+  probe: (12 2 0x0800), (23 1 0x11), (36 2 0x0007)
+END
+{nodes}
+SCENARIO orchestration {timeout}
+  P: (probe, node1, node2, RECV)
+  {rules}
+END
+"""
+
+
+def build(rules="", timeout="", seed=3):
+    tb, (n1, n2) = make_testbed(2, seed=seed)
+    script = SCRIPT.format(nodes=tb.node_table_fsl(), rules=rules, timeout=timeout)
+    return tb, n1, n2, script
+
+
+class TestOrchestration:
+    def test_init_start_handshake_enables_engines(self):
+        tb, n1, n2, script = build()
+        report = tb.run_scenario(script, max_time=seconds(10))
+        # Both engines got INIT over the control plane (node1 is the
+        # control node and installs directly; node2 acked in-band).
+        assert tb.engines["node2"].stats.control_frames_received >= 2
+
+    def test_workload_starts_after_engines(self):
+        tb, n1, n2, script = build()
+        timeline = []
+
+        def workload():
+            timeline.append(("workload", tb.sim.now))
+            assert tb.engines["node2"].enabled  # armed before traffic
+
+        tb.run_scenario(script, workload=workload, max_time=seconds(10))
+        assert timeline
+
+    def test_unknown_node_rejected(self):
+        tb, n1, n2, script = build()
+        bad = script.replace("node2", "node9")
+        with pytest.raises(Exception):
+            tb.run_scenario(bad, max_time=seconds(5))
+
+    def test_run_without_install_rejected(self):
+        from repro.core.testbed import Testbed
+
+        tb = Testbed()
+        tb.add_host("node1")
+        with pytest.raises(ScenarioError):
+            tb.run_scenario("SCENARIO x END")
+
+    def test_inactivity_ends_quiet_scenario(self):
+        tb, n1, n2, script = build()
+
+        def workload():
+            sender = n1.udp.bind(0)
+            n2.udp.bind(7)
+            sender.sendto(bytes(20), n2.ip, 7)
+
+        report = tb.run_scenario(
+            script, workload=workload, max_time=seconds(30), inactivity_ns=ms(100)
+        )
+        assert report.end_reason is EndReason.INACTIVITY
+        # No declared timeout in the scenario: inactivity is a normal end.
+        assert report.passed
+
+    def test_declared_timeout_makes_inactivity_a_failure(self):
+        tb, n1, n2, script = build(timeout="50ms", rules="((P = 99)) >> STOP;")
+
+        def workload():
+            sender = n1.udp.bind(0)
+            n2.udp.bind(7)
+            sender.sendto(bytes(20), n2.ip, 7)  # just one packet, then silence
+
+        report = tb.run_scenario(script, workload=workload, max_time=seconds(30))
+        assert report.end_reason is EndReason.INACTIVITY
+        assert not report.passed  # paper §6.2: timeout termination = error
+
+    def test_max_time_bound(self):
+        tb, n1, n2, script = build(rules="((P = 99)) >> STOP;")
+
+        def workload():
+            # Steady traffic keeps the scenario active forever.
+            sender = n1.udp.bind(0)
+            n2.udp.bind(7)
+            tb.sim.every(ms(5), lambda: sender.sendto(bytes(20), n2.ip, 7))
+
+        report = tb.run_scenario(script, workload=workload, max_time=ms(200))
+        assert report.end_reason is EndReason.MAX_TIME
+        assert not report.passed
+
+    def test_consecutive_scenarios_on_one_testbed(self):
+        tb, n1, n2, script = build()
+
+        def workload():
+            sender = n1.udp.bind(0)
+            n2.udp.bind(7)
+            sender.sendto(bytes(20), n2.ip, 7)
+
+        first = tb.run_scenario(
+            script, workload=workload, max_time=seconds(10), inactivity_ns=ms(50)
+        )
+        second = tb.run_scenario(
+            script.replace("orchestration", "again"),
+            max_time=seconds(10),
+            inactivity_ns=ms(50),
+        )
+        assert first.scenario_name == "orchestration"
+        assert second.scenario_name == "again"
+
+
+class TestReportVerdicts:
+    def _report(self, **kwargs):
+        defaults = dict(
+            scenario_name="t",
+            end_reason=EndReason.INACTIVITY,
+            duration_ns=1000,
+        )
+        defaults.update(kwargs)
+        return ScenarioReport(**defaults)
+
+    def test_clean_inactivity_passes(self):
+        assert self._report().passed
+
+    def test_errors_fail(self):
+        report = self._report(errors=[ErrorRecord("node1", 0, 0, 5)])
+        assert not report.passed
+
+    def test_expected_stop_missing_fails(self):
+        assert not self._report(expects_stop=True).passed
+
+    def test_stop_received_passes(self):
+        report = self._report(
+            end_reason=EndReason.STOP, expects_stop=True, stop_time_ns=10
+        )
+        assert report.passed
+
+    def test_declared_timeout_inactivity_fails(self):
+        report = self._report(declared_timeout=True)
+        assert not report.passed
+
+    def test_render_mentions_errors(self):
+        report = self._report(errors=[ErrorRecord("node2", 3, 1, 77, line=12)])
+        text = report.render()
+        assert "FAIL" in text and "node2" in text and "line 12" in text

@@ -1,0 +1,104 @@
+"""Tests for the FSL lexer."""
+
+import pytest
+
+from repro.core.fsl.tokens import TokKind, tokenize
+from repro.errors import FslLexError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestLiterals:
+    def test_hex_and_decimal(self):
+        tokens = tokenize("0x9900 47 0x10")
+        assert [t.value for t in tokens[:-1]] == [0x9900, 47, 0x10]
+
+    def test_mac_literal(self):
+        (token, _eof) = tokenize("00:46:61:af:fe:23")
+        assert token.kind is TokKind.MAC
+        assert token.value == "00:46:61:af:fe:23"
+
+    def test_ip_literal(self):
+        (token, _eof) = tokenize("192.168.1.1")
+        assert token.kind is TokKind.IP
+
+    @pytest.mark.parametrize(
+        "text,ns",
+        [("1sec", 10**9), ("250ms", 25 * 10**7), ("40us", 40_000), ("2s", 2 * 10**9)],
+    )
+    def test_duration_literals(self, text, ns):
+        (token, _eof) = tokenize(text)
+        assert token.kind is TokKind.DURATION
+        assert token.value == ns
+
+    def test_ident_not_duration(self):
+        (token, _eof) = tokenize("ms_counter")
+        assert token.kind is TokKind.IDENT
+
+
+class TestOperators:
+    def test_arrow_vs_gt(self):
+        assert kinds("a >> b") == [TokKind.IDENT, TokKind.ARROW, TokKind.IDENT]
+        assert kinds("a > b") == [TokKind.IDENT, TokKind.GT, TokKind.IDENT]
+
+    def test_relational_forms(self):
+        assert kinds(">= <= = == != <>") == [
+            TokKind.GE,
+            TokKind.LE,
+            TokKind.EQ,
+            TokKind.EQ,
+            TokKind.NE,
+            TokKind.NE,
+        ]
+
+    def test_logical_symbols_and_words(self):
+        assert kinds("&& || !") == [TokKind.AND, TokKind.OR, TokKind.NOT]
+        assert kinds("AND OR NOT") == [TokKind.AND, TokKind.OR, TokKind.NOT]
+
+    def test_punctuation(self):
+        assert kinds("( ) [ ] , : ;") == [
+            TokKind.LPAREN,
+            TokKind.RPAREN,
+            TokKind.LBRACKET,
+            TokKind.RBRACKET,
+            TokKind.COMMA,
+            TokKind.COLON,
+            TokKind.SEMI,
+        ]
+
+
+class TestCommentsAndPositions:
+    def test_c_comments_skipped(self):
+        assert kinds("a /* anything \n at all */ b") == [TokKind.IDENT, TokKind.IDENT]
+
+    def test_line_comments_skipped(self):
+        assert kinds("a // trailing\nb # another\nc") == [TokKind.IDENT] * 3
+
+    def test_line_numbers_track_newlines(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+        assert tokens[2].column == 3
+
+    def test_unterminated_comment(self):
+        with pytest.raises(FslLexError):
+            tokenize("a /* never closed")
+
+    def test_unknown_character(self):
+        with pytest.raises(FslLexError) as err:
+            tokenize("a @ b")
+        assert err.value.line == 1
+
+
+class TestRealScriptFragments:
+    def test_fig2_filter_line(self):
+        tokens = tokenize("TCP_synack: (34 2 0x4000), (47 1 0x12 0x12)")
+        assert tokens[0].text == "TCP_synack"
+        values = [t.value for t in tokens if t.kind is TokKind.INT]
+        assert values == [34, 2, 0x4000, 47, 1, 0x12, 0x12]
+
+    def test_fig5_rule_line(self):
+        tokens = tokenize("((SYNACK > 0) && (SYNACK < 2)) >> DROP TCP_synack;")
+        assert TokKind.ARROW in [t.kind for t in tokens]
+        assert tokens[-2].kind is TokKind.SEMI

@@ -1,0 +1,201 @@
+"""Tests for the FSL parser."""
+
+import pytest
+
+from repro.core.fsl.ast import (
+    AndAst,
+    NotAst,
+    OrAst,
+    PatchAst,
+    TermAst,
+    TrueAst,
+)
+from repro.core.fsl.parser import parse_script
+from repro.errors import FslParseError
+
+MINIMAL_NODES = """
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END
+"""
+
+
+class TestSections:
+    def test_var_declarations(self):
+        script = parse_script("VAR A, B, C;")
+        assert script.variables == ["A", "B", "C"]
+
+    def test_filter_table(self):
+        script = parse_script(
+            """
+            FILTER_TABLE
+              tcp_syn: (34 2 0x6000), (47 1 0x02 0x02)
+              with_var: (38 4 SeqNo)
+            END
+            """
+        )
+        syn = script.filters[0]
+        assert syn.name == "tcp_syn"
+        assert (syn.tuples[0].offset, syn.tuples[0].nbytes) == (34, 2)
+        assert syn.tuples[0].mask is None and syn.tuples[0].pattern == 0x6000
+        assert syn.tuples[1].mask == 0x02 and syn.tuples[1].pattern == 0x02
+        assert script.filters[1].tuples[0].pattern == "SeqNo"
+
+    def test_node_table(self):
+        script = parse_script(MINIMAL_NODES)
+        assert [n.name for n in script.nodes] == ["node1", "node2"]
+        assert script.nodes[0].mac == "02:00:00:00:00:01"
+        assert script.nodes[1].ip == "192.168.1.2"
+
+    def test_scenario_header_with_timeout(self):
+        script = parse_script("SCENARIO t 1sec END")
+        assert script.scenarios[0].name == "t"
+        assert script.scenarios[0].timeout_ns == 10**9
+
+    def test_scenario_header_without_timeout(self):
+        script = parse_script("SCENARIO t END")
+        assert script.scenarios[0].timeout_ns == 0
+
+    def test_scenario_lookup(self):
+        script = parse_script("SCENARIO a END SCENARIO b END")
+        assert script.scenario("b").name == "b"
+        assert script.scenario().name == "a"
+        with pytest.raises(ValueError):
+            script.scenario("zzz")
+
+
+class TestCounterDecls:
+    def test_event_counter(self):
+        script = parse_script(
+            "SCENARIO t C1: (pkt, node1, node2, RECV) END"
+        )
+        decl = script.scenarios[0].counters[0]
+        assert decl.is_event
+        assert decl.args == ("pkt", "node1", "node2", "RECV")
+
+    def test_local_counter(self):
+        script = parse_script("SCENARIO t CWND: (node1) END")
+        decl = script.scenarios[0].counters[0]
+        assert not decl.is_event
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(FslParseError):
+            parse_script("SCENARIO t C: (a, b) END")
+
+
+class TestConditions:
+    def parse_rule(self, text):
+        script = parse_script(f"SCENARIO t {text} END")
+        return script.scenarios[0].rules[0]
+
+    def test_true_rule(self):
+        rule = self.parse_rule("(TRUE) >> STOP;")
+        assert isinstance(rule.condition, TrueAst)
+
+    def test_term(self):
+        rule = self.parse_rule("((X > 5)) >> STOP;")
+        term = rule.condition
+        assert isinstance(term, TermAst)
+        assert (term.lhs, term.op, term.rhs) == ("X", ">", 5)
+
+    def test_and_or_not_precedence(self):
+        rule = self.parse_rule("((A = 1) && !(B = 2) || (C = 3)) >> STOP;")
+        assert isinstance(rule.condition, OrAst)
+        left = rule.condition.children[0]
+        assert isinstance(left, AndAst)
+        assert isinstance(left.children[1], NotAst)
+
+    def test_word_operators(self):
+        rule = self.parse_rule("((A = 1) AND (B = 2)) >> STOP;")
+        assert isinstance(rule.condition, AndAst)
+
+    def test_missing_relop_rejected(self):
+        with pytest.raises(FslParseError):
+            self.parse_rule("((A B)) >> STOP;")
+
+
+class TestActions:
+    def parse_actions(self, text):
+        script = parse_script(f"SCENARIO t {text} END")
+        return script.scenarios[0].rules[0].actions
+
+    def test_multiple_actions_per_rule(self):
+        actions = self.parse_actions(
+            "(TRUE) >> ENABLE_CNTR( A ); RESET_CNTR( B ); INCR_CNTR( C, 2 );"
+        )
+        assert [a.name for a in actions] == ["ENABLE_CNTR", "RESET_CNTR", "INCR_CNTR"]
+        assert actions[2].args == ("C", 2)
+
+    def test_paperstyle_unparenthesised_fault(self):
+        (action,) = self.parse_actions(
+            "(TRUE) >> DROP TCP_synack, node2, node1, RECV;"
+        )
+        assert action.name == "DROP"
+        assert action.args == ("TCP_synack", "node2", "node1", "RECV")
+
+    def test_parenthesised_fault(self):
+        (action,) = self.parse_actions("(TRUE) >> DUP( pkt, node1, node2, SEND );")
+        assert action.args == ("pkt", "node1", "node2", "SEND")
+
+    def test_delay_duration_literal(self):
+        (action,) = self.parse_actions(
+            "(TRUE) >> DELAY( pkt, node1, node2, RECV, 250ms );"
+        )
+        assert action.args[4] == ("duration", 250_000_000)
+
+    def test_reorder_permutation(self):
+        (action,) = self.parse_actions(
+            "(TRUE) >> REORDER( pkt, node1, node2, RECV, 3, [3 1 2] );"
+        )
+        assert action.args[5] == (3, 1, 2)
+
+    def test_modify_patch(self):
+        (action,) = self.parse_actions(
+            "(TRUE) >> MODIFY( pkt, node1, node2, RECV, (40 0xDEAD) );"
+        )
+        patch = action.args[4]
+        assert isinstance(patch, PatchAst)
+        assert patch.offset == 40 and patch.data == b"\xde\xad"
+
+    def test_flag_err_alias(self):
+        (action,) = self.parse_actions("(TRUE) >> FLAG_ERR;")
+        assert action.name == "FLAG_ERR"
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FslParseError):
+            self.parse_actions("(TRUE) >> EXPLODE( node1 );")
+
+
+class TestWholeScripts:
+    def test_fig5_parses(self):
+        from repro.scripts import tcp_congestion_script
+
+        script = parse_script(tcp_congestion_script(MINIMAL_NODES))
+        scenario = script.scenarios[0]
+        assert scenario.name == "TCP_SS_CA_algo"
+        assert len(scenario.counters) == 8
+        assert len(scenario.rules) == 8
+
+    def test_fig6_parses(self):
+        from repro.scripts import rether_failover_script
+
+        nodes = """
+        NODE_TABLE
+          node1 02:00:00:00:00:01 192.168.1.1
+          node2 02:00:00:00:00:02 192.168.1.2
+          node3 02:00:00:00:00:03 192.168.1.3
+          node4 02:00:00:00:00:04 192.168.1.4
+        END
+        """
+        script = parse_script(rether_failover_script(nodes))
+        scenario = script.scenarios[0]
+        assert scenario.timeout_ns == 10**9
+        assert len(scenario.counters) == 5
+        assert len(scenario.rules) == 6
+
+    def test_error_carries_line_number(self):
+        bad = "SCENARIO t\n  C1: (a, b, c)\nEND"
+        with pytest.raises(FslParseError) as err:
+            parse_script(bad)
+        assert err.value.line == 2

@@ -1,0 +1,242 @@
+"""Tests for the FSL script linter."""
+
+import pytest
+
+from repro.core.lint import Severity, lint_text
+
+HEADER = """
+FILTER_TABLE
+  pkt_a: (12 2 0x0800)
+  pkt_b: (12 2 0x9900), (14 2 0x0001)
+END
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END
+"""
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestUnusedCounter:
+    def test_detected(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  Used:   (pkt_a, node1, node2, RECV)
+  Orphan: (node1)
+  ((Used = 1)) >> STOP;
+END
+"""
+        )
+        assert "unused-counter" in rules_of(findings)
+        (finding,) = [f for f in findings if f.rule == "unused-counter"]
+        assert finding.subject == "Orphan"
+
+    def test_action_target_counts_as_used(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  A: (pkt_a, node1, node2, RECV)
+  X: (node1)
+  ((A = 1)) >> INCR_CNTR( X, 1 ); STOP;
+END
+"""
+        )
+        assert "unused-counter" not in rules_of(findings)
+
+
+class TestNeverCounted:
+    def test_same_src_dst(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  Weird: (pkt_a, node1, node1, RECV)
+  ((Weird = 1)) >> STOP;
+END
+"""
+        )
+        assert "never-counted" in rules_of(findings)
+
+
+class TestShadowedFilter:
+    def test_exact_superset_detected(self):
+        findings = lint_text(
+            """
+FILTER_TABLE
+  broad:  (12 2 0x0800)
+  narrow: (12 2 0x0800), (23 1 0x11)
+END
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END
+SCENARIO s
+  A: (broad, node1, node2, RECV)
+  B: (narrow, node1, node2, RECV)
+  ((A = 1) && (B = 1)) >> STOP;
+END
+"""
+        )
+        (finding,) = [f for f in findings if f.rule == "shadowed-filter"]
+        assert finding.subject == "narrow"
+
+    def test_mask_superset_detected(self):
+        findings = lint_text(
+            """
+FILTER_TABLE
+  any_ack: (47 1 0x10 0x10)
+  synack:  (47 1 0x12 0x12)
+END
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END
+SCENARIO s
+  A: (any_ack, node1, node2, RECV)
+  B: (synack, node1, node2, RECV)
+  ((A = 1) && (B = 1)) >> STOP;
+END
+"""
+        )
+        # Every SYNACK has the ACK bit set: any_ack shadows synack.
+        assert "shadowed-filter" in rules_of(findings)
+
+    def test_paper_fig2_order_is_clean(self):
+        """The paper's own table relies on narrow-before-broad ordering:
+
+        TCP_synack precedes TCP_ack, so nothing is shadowed.
+        """
+        from repro.scripts import tcp_congestion_script
+
+        nodes = HEADER.split("FILTER_TABLE")[0] + """NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END"""
+        findings = lint_text(tcp_congestion_script(nodes))
+        assert "shadowed-filter" not in rules_of(findings)
+
+    def test_disjoint_not_flagged(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  A: (pkt_a, node1, node2, RECV)
+  B: (pkt_b, node1, node2, RECV)
+  ((A = 1) && (B = 1)) >> STOP;
+END
+"""
+        )
+        assert "shadowed-filter" not in rules_of(findings)
+
+
+class TestConstantCondition:
+    def test_static_local_counter_flagged(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  A: (pkt_a, node1, node2, RECV)
+  Frozen: (node1)
+  ((Frozen = 0)) >> FLAG_ERROR;
+  ((A = 1)) >> STOP;
+END
+"""
+        )
+        assert "constant-condition" in rules_of(findings)
+
+    def test_written_counter_not_flagged(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  A: (pkt_a, node1, node2, RECV)
+  X: (node1)
+  ((A = 1)) >> INCR_CNTR( X, 1 );
+  ((X = 3)) >> STOP;
+END
+"""
+        )
+        assert "constant-condition" not in rules_of(findings)
+
+
+class TestVerdictChecks:
+    def test_no_verdict_warned(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  A: (pkt_a, node1, node2, RECV)
+  ((A = 5)) >> RESET_CNTR( A );
+END
+"""
+        )
+        assert "no-verdict" in rules_of(findings)
+
+    def test_stop_without_timeout_is_info(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  A: (pkt_a, node1, node2, RECV)
+  ((A = 5)) >> STOP;
+END
+"""
+        )
+        (finding,) = [f for f in findings if f.rule == "unbounded-scenario"]
+        assert finding.severity is Severity.INFO
+
+    def test_stop_with_timeout_clean(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s 1sec
+  A: (pkt_a, node1, node2, RECV)
+  ((A = 5)) >> STOP;
+END
+"""
+        )
+        assert "unbounded-scenario" not in rules_of(findings)
+
+
+class TestCiHook:
+    CLEAN = HEADER + """
+SCENARIO s 1sec
+  A: (pkt_a, node1, node2, RECV)
+  ((A = 5)) >> STOP;
+END
+"""
+    DIRTY = HEADER + """
+SCENARIO s 1sec
+  A: (pkt_a, node1, node2, RECV)
+  Orphan: (node1)
+  ((A = 5)) >> STOP;
+END
+"""
+
+    def test_clean_script_passes_gate(self):
+        assert lint_text(self.CLEAN, fail_on=Severity.WARNING) == []
+
+    def test_dirty_script_fails_gate(self):
+        with pytest.raises(ValueError) as err:
+            lint_text(self.DIRTY, fail_on=Severity.WARNING)
+        assert "unused-counter" in str(err.value)
+
+    def test_info_does_not_fail_warning_gate(self):
+        script = HEADER + """
+SCENARIO s
+  A: (pkt_a, node1, node2, RECV)
+  ((A = 5)) >> STOP;
+END
+"""
+        findings = lint_text(script, fail_on=Severity.WARNING)
+        assert any(f.severity is Severity.INFO for f in findings)
+
+    def test_paper_scripts_are_warning_clean(self):
+        from repro.scripts import rether_failover_script, tcp_congestion_script
+
+        nodes2 = """NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END"""
+        nodes4 = nodes2.replace("END", """  node3 02:00:00:00:00:03 192.168.1.3
+  node4 02:00:00:00:00:04 192.168.1.4
+END""")
+        lint_text(tcp_congestion_script(nodes2), fail_on=Severity.WARNING)
+        lint_text(rether_failover_script(nodes4), fail_on=Severity.WARNING)

@@ -1,0 +1,148 @@
+"""Tests for the Testbed facade."""
+
+import pytest
+
+from repro.core.testbed import Testbed
+from repro.errors import ScenarioError, TopologyError
+from repro.sim import ms, seconds
+
+
+class TestConstruction:
+    def test_auto_addresses_are_deterministic(self):
+        a = Testbed(seed=1)
+        b = Testbed(seed=2)  # addresses derive from order, not seed
+        for tb in (a, b):
+            tb.add_host("x")
+            tb.add_host("y")
+        assert a.hosts["x"].mac == b.hosts["x"].mac
+        assert str(a.hosts["y"].ip) == "192.168.1.2"
+
+    def test_explicit_addresses_respected(self):
+        tb = Testbed()
+        host = tb.add_host("n", mac="00:46:61:af:fe:23", ip="10.9.8.7")
+        assert str(host.mac) == "00:46:61:af:fe:23"
+        assert str(host.ip) == "10.9.8.7"
+
+    def test_duplicate_host_rejected(self):
+        tb = Testbed()
+        tb.add_host("n")
+        with pytest.raises(TopologyError):
+            tb.add_host("n")
+
+    def test_neighbors_auto_filled(self):
+        tb = Testbed()
+        a = tb.add_host("a")
+        b = tb.add_host("b")
+        c = tb.add_host("c")
+        assert a.ip_layer.resolve(c.ip) == c.mac
+        assert c.ip_layer.resolve(a.ip) == a.mac
+
+    def test_connect_by_name_or_object(self):
+        tb = Testbed()
+        a = tb.add_host("a")
+        b = tb.add_host("b")
+        tb.add_switch("sw")
+        tb.connect("sw", "a", b)
+        assert a.nic.medium is not None
+
+    def test_unknown_host_lookup(self):
+        tb = Testbed()
+        with pytest.raises(TopologyError):
+            tb.host("ghost")
+
+
+class TestNodeTableEmission:
+    def test_all_hosts(self):
+        tb = Testbed()
+        tb.add_host("node1")
+        tb.add_host("node2")
+        text = tb.node_table_fsl()
+        assert text.startswith("NODE_TABLE")
+        assert "node1 02:00:00:00:00:01 192.168.1.1" in text
+        assert text.endswith("END")
+
+    def test_subset(self):
+        tb = Testbed()
+        tb.add_host("node1")
+        tb.add_host("node2")
+        text = tb.node_table_fsl("node2")
+        assert "node1" not in text and "node2" in text
+
+
+class TestInstallation:
+    def test_double_install_rejected(self):
+        tb = Testbed()
+        tb.add_host("n")
+        tb.add_switch("sw")
+        tb.connect("sw", "n")
+        tb.install_virtualwire()
+        with pytest.raises(ScenarioError):
+            tb.install_virtualwire()
+
+    def test_install_subset_plus_control(self):
+        """VirtualWire on two of three hosts; the third stays untouched."""
+        tb = Testbed()
+        for name in ("a", "b", "c"):
+            tb.add_host(name)
+        tb.add_switch("sw")
+        tb.connect("sw", "a", "b", "c")
+        tb.install_virtualwire(nodes=["a", "b"], control="a")
+        assert set(tb.engines) == {"a", "b"}
+        assert len(tb.hosts["c"].chain.layers) == 2  # driver + demux only
+
+    def test_dedicated_control_host_gets_engine(self):
+        tb = Testbed()
+        for name in ("ctrl", "a", "b"):
+            tb.add_host(name)
+        tb.add_switch("sw")
+        tb.connect("sw", "ctrl", "a", "b")
+        tb.install_virtualwire(nodes=["a", "b"], control="ctrl")
+        assert "ctrl" in tb.engines
+        assert tb.frontend.control_engine is tb.engines["ctrl"]
+
+    def test_rll_spliced_below_engine(self):
+        tb = Testbed()
+        tb.add_host("n")
+        tb.add_switch("sw")
+        tb.connect("sw", "n")
+        tb.install_virtualwire(rll=True)
+        names = [layer.name for layer in tb.hosts["n"].chain.layers]
+        assert names.index("rll") < names.index("virtualwire")
+
+    def test_capture_tap_above_engine(self):
+        tb = Testbed()
+        tb.add_host("n")
+        tb.add_switch("sw")
+        tb.connect("sw", "n")
+        tb.install_virtualwire(capture=True)
+        names = [layer.name for layer in tb.hosts["n"].chain.layers]
+        assert names.index("virtualwire") < names.index("tap:n")
+        assert tb.recorder is not None
+
+    def test_no_hosts_rejected(self):
+        tb = Testbed()
+        with pytest.raises(ScenarioError):
+            tb.install_virtualwire()
+
+
+class TestScenarioValidation:
+    def test_unattached_nic_caught_at_run(self):
+        tb = Testbed()
+        tb.add_host("node1")  # never connected to a medium
+        tb.install_virtualwire()
+        script = """
+FILTER_TABLE
+  p: (12 2 0x0800)
+END
+""" + tb.node_table_fsl() + """
+SCENARIO s
+  C: (p, node1, node1, RECV)
+END
+"""
+        with pytest.raises(TopologyError):
+            tb.run_scenario(script, max_time=seconds(1))
+
+    def test_run_for_advances_clock(self):
+        tb = Testbed()
+        tb.run_for(ms(5))
+        assert tb.sim.now == ms(5)

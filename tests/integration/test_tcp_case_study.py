@@ -1,0 +1,126 @@
+"""Integration: the paper's §6.1 case study (Fig 5), verbatim.
+
+One unchanged script must (a) pass the correct Tahoe implementation, with
+the script's counter model in exact lockstep with the implementation's
+window, and (b) flag every seeded congestion-control bug that makes the
+sender overshoot — the paper's reuse-across-versions claim.
+"""
+
+import pytest
+
+from repro.core.testbed import Testbed
+from repro.scripts import tcp_congestion_script
+from repro.sim import seconds
+from repro.tcp import VARIANTS, CongestionControl
+
+SENDER_PORT = 0x6000
+RECEIVER_PORT = 0x4000
+
+
+def run_case_study(variant=CongestionControl, transfer=48 * 1024, seed=11):
+    tb = Testbed(seed=seed)
+    node1 = tb.add_host("node1")
+    node2 = tb.add_host("node2")
+    tb.add_switch("sw0")
+    tb.connect("sw0", node1, node2)
+    tb.install_virtualwire(control="node1")
+    script = tcp_congestion_script(tb.node_table_fsl())
+    state = {}
+    received = bytearray()
+
+    def workload():
+        node2.tcp.listen(
+            RECEIVER_PORT, lambda c: setattr(c, "on_data", received.extend)
+        )
+        conn = node1.tcp.connect(
+            node2.ip, RECEIVER_PORT, local_port=SENDER_PORT, congestion=variant()
+        )
+        conn.on_established = lambda: conn.send(bytes(transfer))
+        state["conn"] = conn
+
+    report = tb.run_scenario(script, workload=workload, max_time=seconds(60))
+    return report, state["conn"], received, transfer
+
+
+class TestCorrectImplementation:
+    def test_scenario_passes(self):
+        report, conn, received, transfer = run_case_study()
+        assert report.passed, report.render()
+
+    def test_fault_injected_exactly_once(self):
+        report, conn, received, transfer = run_case_study()
+        # Two SYNACKs crossed the wire: the dropped one and its successor.
+        assert report.final_counters["SYNACK"] == 2
+        assert report.engine_stats["node1"]["packets_dropped"] == 1
+        assert conn.retransmissions == 1  # the client's SYN
+
+    def test_ssthresh_reset_observed(self):
+        report, conn, received, transfer = run_case_study()
+        assert conn.congestion.ssthresh == 2
+
+    def test_transfer_unharmed(self):
+        report, conn, received, transfer = run_case_study()
+        assert len(received) == transfer
+
+    def test_script_window_model_tracks_implementation(self):
+        """The analysis counters mirror the real TCP state exactly —
+
+        the strongest form of "the trace matches the specification".
+        """
+        report, conn, received, transfer = run_case_study()
+        assert report.final_counters["CWND"] == conn.congestion.cwnd
+        assert report.final_counters["SSTHRESH"] == conn.congestion.ssthresh
+        assert report.final_counters["CanTx"] >= 0
+
+    def test_congestion_avoidance_was_reached(self):
+        report, conn, received, transfer = run_case_study()
+        assert report.final_counters["CWND"] > 2  # crossed ssthresh
+        assert not conn.congestion.in_slow_start
+
+
+class TestBuggyImplementationsFlagged:
+    @pytest.mark.parametrize(
+        "variant_name",
+        [
+            "bug-no-congestion-avoidance",
+            "bug-ignores-ssthresh-reset",
+            "bug-aggressive-slow-start",
+            "bug-eager-congestion-avoidance",
+        ],
+    )
+    def test_window_violations_flagged(self, variant_name):
+        report, conn, received, transfer = run_case_study(VARIANTS[variant_name])
+        assert report.errors, f"{variant_name} escaped the analysis script"
+        assert not report.passed
+
+    def test_reno_also_passes(self):
+        """Fast recovery is a conforming alternative: the scenario has no
+
+        data loss, so Reno and Tahoe are wire-identical here and one
+        script covers both versions.
+        """
+        report, conn, received, transfer = run_case_study(VARIANTS["reno"])
+        assert report.passed, report.render()
+        assert report.final_counters["CWND"] == conn.congestion.cwnd
+
+    def test_conservative_bug_not_falsely_flagged(self):
+        """FrozenWindow never violates the window invariant; the FAE must
+
+        not invent errors the script does not specify.
+        """
+        report, conn, received, transfer = run_case_study(VARIANTS["bug-frozen-window"])
+        assert report.passed, report.render()
+
+    def test_error_reports_carry_script_location(self):
+        report, _, _, _ = run_case_study(VARIANTS["bug-no-congestion-avoidance"])
+        assert all(error.line > 0 for error in report.errors)
+        assert all(error.node == "node1" for error in report.errors)
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_outcome(self):
+        first, conn_a, _, _ = run_case_study(seed=21)
+        second, conn_b, _, _ = run_case_study(seed=21)
+        assert first.final_counters == second.final_counters
+        assert first.duration_ns == second.duration_ns
+        assert conn_a.segments_sent == conn_b.segments_sent

@@ -1,0 +1,187 @@
+"""Property tests on the FSL front-end and the rule algebra.
+
+* generated scripts (random counters, rules, conditions) always compile,
+  and the compiled tables are internally consistent;
+* condition-expression evaluation agrees with a direct Python model;
+* classification agrees with a naive reference matcher.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify import Classifier
+from repro.core.fsl import compile_text
+from repro.core.tables import ConditionExpr, FilterEntry, FilterTable, FilterTuple
+
+names = st.sampled_from(["Alpha", "Beta", "Gamma", "Delta"])
+relops = st.sampled_from([">", "<", ">=", "<=", "=", "!="])
+
+
+# ---------------------------------------------------------------------------
+# Generated scripts always compile into consistent tables
+# ---------------------------------------------------------------------------
+
+@st.composite
+def scenarios(draw):
+    counters = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    lines = []
+    for counter in counters:
+        lines.append(f"  {counter}: (pkt, node1, node2, RECV)")
+    n_rules = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(n_rules):
+        counter = draw(st.sampled_from(counters))
+        op = draw(relops)
+        value = draw(st.integers(min_value=0, max_value=100))
+        action_counter = draw(st.sampled_from(counters))
+        action = draw(
+            st.sampled_from(
+                [
+                    f"RESET_CNTR( {action_counter} )",
+                    f"INCR_CNTR( {action_counter}, 1 )",
+                    "FLAG_ERROR",
+                    f"ENABLE_CNTR( {action_counter} )",
+                ]
+            )
+        )
+        lines.append(f"  (({counter} {op} {value})) >> {action};")
+    return "\n".join(lines)
+
+
+HEADER = """
+FILTER_TABLE
+  pkt: (12 2 0x0800)
+END
+NODE_TABLE
+  node1 02:00:00:00:00:01 192.168.1.1
+  node2 02:00:00:00:00:02 192.168.1.2
+END
+"""
+
+
+class TestGeneratedScriptsCompile:
+    @given(body=scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_compiles_consistently(self, body):
+        program = compile_text(HEADER + "SCENARIO generated\n" + body + "\nEND")
+        # Consistency: every id referenced anywhere exists in its table.
+        for term in program.terms:
+            for operand in (term.lhs, term.rhs):
+                if operand.is_counter:
+                    assert 0 <= operand.counter_id < len(program.counters)
+            for condition_id in term.condition_ids:
+                assert 0 <= condition_id < len(program.conditions)
+        for condition in program.conditions:
+            for term_id in condition.expr.term_ids():
+                assert 0 <= term_id < len(program.terms)
+            for node, action_id in condition.triggers:
+                action = program.actions[action_id]
+                assert action.node == node
+                assert action.condition_id == condition.condition_id
+        for counter in program.counters:
+            for term_id in counter.term_ids:
+                term = program.terms[term_id]
+                assert counter.counter_id in (
+                    term.lhs.counter_id,
+                    term.rhs.counter_id,
+                )
+
+
+# ---------------------------------------------------------------------------
+# Condition algebra equals a reference evaluator
+# ---------------------------------------------------------------------------
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return ConditionExpr("TERM", term_id=draw(st.integers(0, 5)))
+    op = draw(st.sampled_from(["AND", "OR", "NOT"]))
+    if op == "NOT":
+        return ConditionExpr("NOT", children=[draw(expressions(depth + 1))])
+    children = draw(
+        st.lists(expressions(depth + 1), min_size=2, max_size=3)
+    )
+    return ConditionExpr(op, children=children)
+
+
+def reference_eval(expr, values):
+    if expr.op == "TRUE":
+        return True
+    if expr.op == "TERM":
+        return values.get(expr.term_id, False)
+    results = [reference_eval(c, values) for c in expr.children]
+    if expr.op == "NOT":
+        return not results[0]
+    if expr.op == "AND":
+        return all(results)
+    return any(results)
+
+
+class TestConditionAlgebra:
+    @given(
+        expr=expressions(),
+        values=st.dictionaries(st.integers(0, 5), st.booleans(), max_size=6),
+    )
+    @settings(max_examples=200)
+    def test_matches_reference(self, expr, values):
+        assert expr.evaluate(values) == reference_eval(expr, values)
+
+    @given(expr=expressions())
+    def test_term_ids_deduplicated(self, expr):
+        ids = expr.term_ids()
+        assert len(ids) == len(set(ids))
+
+
+# ---------------------------------------------------------------------------
+# Classification equals a naive reference matcher
+# ---------------------------------------------------------------------------
+
+@st.composite
+def filter_tables(draw):
+    entries = []
+    n = draw(st.integers(min_value=1, max_value=6))
+    for index in range(n):
+        tuples = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            offset = draw(st.integers(min_value=0, max_value=30))
+            width = draw(st.sampled_from([1, 2]))
+            pattern = draw(st.integers(min_value=0, max_value=(1 << (8 * width)) - 1))
+            mask = draw(
+                st.one_of(
+                    st.none(),
+                    st.integers(min_value=0, max_value=(1 << (8 * width)) - 1),
+                )
+            )
+            tuples.append(FilterTuple(offset, width, pattern, mask))
+        entries.append(FilterEntry(f"f{index}", tuple(tuples)))
+    return FilterTable(entries)
+
+
+def reference_classify(table, data):
+    for entry in table.entries:
+        matched = True
+        for tup in entry.tuples:
+            end = tup.offset + tup.nbytes
+            if end > len(data):
+                matched = False
+                break
+            value = int.from_bytes(data[tup.offset:end], "big")
+            if tup.mask is not None:
+                if value & tup.mask != tup.pattern & tup.mask:
+                    matched = False
+                    break
+            elif value != tup.pattern:
+                matched = False
+                break
+        if matched:
+            return entry.name
+    return None
+
+
+class TestClassificationEquivalence:
+    @given(table=filter_tables(), data=st.binary(min_size=0, max_size=40))
+    @settings(max_examples=150)
+    def test_matches_reference(self, table, data):
+        classifier = Classifier(table)
+        name, scanned = classifier.classify(data)
+        assert name == reference_classify(table, data)
+        assert 1 <= scanned <= len(table)

@@ -1,0 +1,181 @@
+"""Tests for the Rether token-passing protocol."""
+
+import pytest
+
+from repro.errors import PacketError, RetherError
+from repro.net.topology import Topology
+from repro.rether import RetherLayer, RetherMessage, TYPE_TOKEN, TYPE_TOKEN_ACK
+from repro.rether.install import install_rether
+from repro.sim import Simulator, ms, seconds
+from repro.stack import FREE, Host
+
+
+class TestMessages:
+    def test_token_roundtrip(self):
+        msg = RetherMessage(TYPE_TOKEN, generation=3, seq=77, cycle_start=123456)
+        parsed = RetherMessage.parse(msg.to_payload())
+        assert parsed.is_token
+        assert (parsed.generation, parsed.seq, parsed.cycle_start) == (3, 77, 123456)
+
+    def test_ack_answers_token(self):
+        token = RetherMessage(TYPE_TOKEN, 1, 42)
+        ack = token.ack()
+        assert ack.is_ack and ack.seq == 42 and ack.generation == 1
+
+    def test_wire_offsets_match_fig6_filters(self):
+        """(12 2 0x9900) and (14 2 0x0001)/(14 2 0x0010) must hold."""
+        from repro.net.bytesutil import read_u16
+
+        token_wire = RetherMessage(TYPE_TOKEN, 0, 0).wrap(
+            "02:00:00:00:00:02", "02:00:00:00:00:01"
+        ).to_bytes()
+        assert read_u16(token_wire, 12) == 0x9900
+        assert read_u16(token_wire, 14) == 0x0001
+        ack_wire = RetherMessage(TYPE_TOKEN_ACK, 0, 0).wrap(
+            "02:00:00:00:00:02", "02:00:00:00:00:01"
+        ).to_bytes()
+        assert read_u16(ack_wire, 14) == 0x0010
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PacketError):
+            RetherMessage(0x7777, 0, 0)
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(PacketError):
+            RetherMessage.parse(bytes(8))
+
+
+def build_ring(n=4, seed=3, **layer_kwargs):
+    sim = Simulator(seed=seed)
+    topo = Topology(sim)
+    topo.add_bus("bus0", queue_frames=512)
+    hosts = []
+    for i in range(1, n + 1):
+        host = Host(sim, f"node{i}", f"02:00:00:00:00:0{i}", f"192.168.1.{i}", costs=FREE)
+        hosts.append(host)
+    for host in hosts:
+        host.learn_neighbors(hosts)
+        topo.connect("bus0", host.nic)
+    layers = install_rether(hosts, **layer_kwargs)
+    return sim, hosts, layers
+
+
+class TestTokenRotation:
+    def test_token_visits_all_nodes(self):
+        sim, hosts, layers = build_ring()
+        sim.run_until(ms(50))
+        for layer in layers.values():
+            assert layer.tokens_received > 0
+
+    def test_single_token_invariant(self):
+        """At any instant at most one node believes it holds the token
+
+        without a handoff pending (a handoff in flight keeps the sender
+        holding until acked).
+        """
+        sim, hosts, layers = build_ring()
+        violations = []
+
+        def check():
+            holders = [
+                l for l in layers.values()
+                if l.holding_token and l._handoff_msg is None
+            ]
+            if len(holders) > 1:
+                violations.append((sim.now, [str(h._mac) for h in holders]))
+
+        sim.every(ms(1), check)
+        sim.run_until(ms(200))
+        assert violations == []
+
+    def test_data_waits_for_token(self):
+        sim, hosts, layers = build_ring(idle_gap_ns=ms(5))
+        got = []
+        hosts[2].udp.bind(9).on_receive = lambda p, ip, port: got.append(sim.now)
+        hosts[0].udp.bind(0).sendto(b"gated", hosts[2].ip, 9)
+        sim.run_until(seconds(1))
+        assert len(got) == 1  # delivered, but only after a token visit
+
+    def test_ring_requires_two_members(self, sim):
+        with pytest.raises(RetherError):
+            RetherLayer(sim, ring=[])
+
+    def test_double_start_rejected(self):
+        sim, hosts, layers = build_ring()
+        with pytest.raises(RetherError):
+            layers["node1"].start()
+
+
+class TestFailureRecovery:
+    def test_eviction_after_exactly_three_sends(self):
+        sim, hosts, layers = build_ring()
+        sim.run_until(ms(20))
+        hosts[2].fail()  # node3
+        sim.run_until(ms(600))
+        node2 = layers["node2"]
+        assert node2.evicted(hosts[2].mac)
+        # 1 original send + 2 retransmissions = the paper's 3 total.
+        assert node2.token_retransmissions == 2
+        assert node2.nodes_evicted == 1
+
+    def test_ring_keeps_rotating_after_eviction(self):
+        sim, hosts, layers = build_ring()
+        sim.run_until(ms(20))
+        hosts[2].fail()
+        sim.run_until(ms(600))
+        before = {n: l.tokens_received for n, l in layers.items() if n != "node3"}
+        sim.run_until(ms(900))
+        for name, count in before.items():
+            assert layers[name].tokens_received > count
+
+    def test_token_regeneration_after_holder_death(self):
+        sim, hosts, layers = build_ring()
+        sim.run_until(ms(20))
+        # Kill whoever holds the token right now.
+        holder = next(
+            h for h in hosts if layers[h.name].holding_token
+        )
+        holder.fail()
+        sim.run_until(seconds(3))
+        survivors = [l for n, l in layers.items() if n != holder.name]
+        assert sum(l.regenerations for l in survivors) >= 1
+        before = [l.tokens_received for l in survivors]
+        sim.run_until(seconds(4))
+        after = [l.tokens_received for l in survivors]
+        assert any(b < a for b, a in zip(before, after))
+
+    def test_stale_token_discarded_not_duplicated(self):
+        sim, hosts, layers = build_ring()
+        sim.run_until(ms(200))
+        total_stale = sum(l.stale_tokens_discarded for l in layers.values())
+        # On a clean bus nothing should need discarding...
+        assert total_stale == 0
+        # ...and the single-token invariant held throughout (see
+        # TestTokenRotation.test_single_token_invariant for the live check).
+
+
+class TestRealTimeMode:
+    def test_rt_quota_served_when_cycle_budget_exhausted(self):
+        sim, hosts, layers = build_ring(
+            cycle_target_ns=0,  # best-effort budget always exhausted
+            rt_quota_frames=5,
+        )
+        got = []
+        hosts[2].udp.bind(9).on_receive = lambda p, ip, port: got.append(p)
+        sender = hosts[0].udp.bind(0)
+        for i in range(10):
+            sender.sendto(bytes([i]), hosts[2].ip, 9)
+        sim.run_until(seconds(1))
+        # With rt_quota on, traffic is classified reserved and still flows.
+        assert len(got) == 10
+
+    def test_best_effort_deferred_outside_budget(self):
+        sim, hosts, layers = build_ring(cycle_target_ns=0, rt_quota_frames=0)
+        got = []
+        hosts[2].udp.bind(9).on_receive = lambda p, ip, port: got.append(p)
+        sender = hosts[0].udp.bind(0)
+        for i in range(5):
+            sender.sendto(bytes([i]), hosts[2].ip, 9)
+        sim.run_until(ms(300))
+        assert got == []  # never inside the (zero) budget
+        assert layers["node1"].be_deferred > 0

@@ -1,0 +1,112 @@
+"""Tests for virtual time: units, jiffy quantisation, duration parsing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import clock
+from repro.sim.clock import (
+    Clock,
+    format_time,
+    ms,
+    parse_duration,
+    quantize_to_jiffies,
+    seconds,
+    to_ms,
+    to_seconds,
+    to_us,
+    us,
+)
+
+
+class TestUnits:
+    def test_us(self):
+        assert us(1) == 1_000
+
+    def test_ms(self):
+        assert ms(1) == 1_000_000
+
+    def test_seconds(self):
+        assert seconds(1) == 1_000_000_000
+
+    def test_fractional_values_round(self):
+        assert us(1.5) == 1_500
+        assert ms(0.25) == 250_000
+
+    def test_round_trips(self):
+        assert to_us(us(123.0)) == 123.0
+        assert to_ms(ms(5.5)) == 5.5
+        assert to_seconds(seconds(2)) == 2.0
+
+    def test_jiffy_constant_is_10ms(self):
+        # Paper §5.2: Linux 2.4 software timers tick every 10 ms.
+        assert clock.JIFFY_NS == ms(10)
+
+
+class TestJiffyQuantisation:
+    def test_exact_multiple_unchanged(self):
+        assert quantize_to_jiffies(ms(20)) == ms(20)
+
+    def test_rounds_up(self):
+        assert quantize_to_jiffies(ms(11)) == ms(20)
+        assert quantize_to_jiffies(ms(35)) == ms(40)
+
+    def test_minimum_is_one_jiffy(self):
+        # "the granularity of delay can be no less than a jiffy".
+        assert quantize_to_jiffies(0) == ms(10)
+        assert quantize_to_jiffies(1) == ms(10)
+        assert quantize_to_jiffies(-5) == ms(10)
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1sec", seconds(1)),
+            ("2s", seconds(2)),
+            ("250ms", ms(250)),
+            ("250msec", ms(250)),
+            ("40us", us(40)),
+            ("40usec", us(40)),
+            ("100ns", 100),
+            ("1.5ms", 1_500_000),
+            ("7", ms(7)),  # bare number defaults to milliseconds
+        ],
+    )
+    def test_accepts(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SimulationError):
+            parse_duration("fastish")
+
+    def test_rejects_bad_number(self):
+        with pytest.raises(SimulationError):
+            parse_duration("1.2.3ms")
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advances(self):
+        c = Clock()
+        c.advance_to(500)
+        assert c.now == 500
+
+    def test_same_instant_is_fine(self):
+        c = Clock(100)
+        c.advance_to(100)
+        assert c.now == 100
+
+    def test_refuses_to_run_backwards(self):
+        c = Clock(100)
+        with pytest.raises(SimulationError):
+            c.advance_to(99)
+
+
+class TestFormatTime:
+    def test_scales(self):
+        assert format_time(5) == "5ns"
+        assert format_time(us(3)) == "3.000us"
+        assert format_time(ms(3)) == "3.000ms"
+        assert format_time(seconds(3)) == "3.000000s"

@@ -1,0 +1,94 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(30, lambda: fired.append(30))
+        q.push(10, lambda: fired.append(10))
+        q.push(20, lambda: fired.append(20))
+        while q:
+            handle = q.pop()
+            handle.callback()
+        assert fired == [10, 20, 30]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        order = []
+        for tag in range(5):
+            q.push(100, lambda t=tag: order.append(t))
+        while q:
+            q.pop().callback()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(50, lambda: None)
+        q.push(40, lambda: None)
+        assert q.peek_time() == 40
+
+
+class TestCancellation:
+    def test_cancelled_event_never_pops(self):
+        q = EventQueue()
+        keep = q.push(10, lambda: None, "keep")
+        drop = q.push(5, lambda: None, "drop")
+        q.cancel(drop)
+        assert len(q) == 1
+        assert q.pop() is keep
+
+    def test_double_cancel_is_safe(self):
+        q = EventQueue()
+        handle = q.push(10, lambda: None)
+        q.cancel(handle)
+        q.cancel(handle)
+        assert len(q) == 0
+
+    def test_cancel_clears_callback_reference(self):
+        q = EventQueue()
+        handle = q.push(10, lambda: None)
+        handle.cancel()
+        assert handle.callback is None
+        assert not handle.pending
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(SchedulingError):
+            q.pop()
+
+    def test_pop_skips_leading_cancelled(self):
+        q = EventQueue()
+        first = q.push(1, lambda: None)
+        second = q.push(2, lambda: None)
+        q.cancel(first)
+        assert q.pop() is second
+
+
+class TestHousekeeping:
+    def test_clear(self):
+        q = EventQueue()
+        for t in range(10):
+            q.push(t, lambda: None)
+        q.clear()
+        assert len(q) == 0
+        assert not q
+
+    def test_none_callback_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SchedulingError):
+            q.push(1, None)
+
+    def test_snapshot_sorted_and_labelled(self):
+        q = EventQueue()
+        q.push(30, lambda: None, "c")
+        q.push(10, lambda: None, "a")
+        b = q.push(20, lambda: None, "b")
+        q.cancel(b)
+        assert q.snapshot() == [(10, "a"), (30, "c")]

@@ -1,0 +1,169 @@
+"""Tests for the simulator facade: scheduling, run loops, periodic tasks."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_after_fires_at_right_time(self, sim):
+        seen = []
+        sim.after(100, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+
+    def test_at_absolute(self, sim):
+        seen = []
+        sim.at(250, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [250]
+
+    def test_past_scheduling_rejected(self, sim):
+        sim.after(100, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.at(50, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.after(-1, lambda: None)
+
+    def test_cancel(self, sim):
+        seen = []
+        handle = sim.after(10, lambda: seen.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert seen == []
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.after(5, lambda: seen.append(("inner", sim.now)))
+
+        sim.after(10, outer)
+        sim.run()
+        assert seen == [("outer", 10), ("inner", 15)]
+
+
+class TestRunLoops:
+    def test_run_until_stops_clock_at_deadline(self, sim):
+        sim.after(10, lambda: None)
+        sim.run_until(500)
+        assert sim.now == 500
+
+    def test_run_until_leaves_future_events(self, sim):
+        seen = []
+        sim.after(1000, lambda: seen.append(1))
+        sim.run_until(500)
+        assert seen == []
+        sim.run_until(1500)
+        assert seen == [1]
+
+    def test_run_until_past_deadline_rejected(self, sim):
+        sim.run_until(100)
+        with pytest.raises(SchedulingError):
+            sim.run_until(50)
+
+    def test_run_for(self, sim):
+        sim.run_for(300)
+        sim.run_for(200)
+        assert sim.now == 500
+
+    def test_event_cap_trips(self, sim):
+        def respawn():
+            sim.after(1, respawn)
+
+        sim.after(1, respawn)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_stop_exits_loop(self, sim):
+        seen = []
+
+        def first():
+            seen.append(1)
+            sim.stop()
+
+        sim.after(1, first)
+        sim.after(2, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        sim.run()  # the second event is still queued
+        assert seen == [1, 2]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_run_not_reentrant(self, sim):
+        def evil():
+            sim.run()
+
+        sim.after(1, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counter(self, sim):
+        for t in range(5):
+            sim.after(t + 1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self, sim):
+        ticks = []
+        sim.every(10, lambda: ticks.append(sim.now))
+        sim.run_until(55)
+        assert ticks == [10, 20, 30, 40, 50]
+
+    def test_stop_halts(self, sim):
+        ticks = []
+        handle = sim.every(10, lambda: ticks.append(sim.now))
+        sim.at(25, handle.stop)
+        sim.run_until(100)
+        assert ticks == [10, 20]
+        assert handle.stopped
+
+    def test_stop_inside_callback(self, sim):
+        ticks = []
+        holder = {}
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                holder["h"].stop()
+
+        holder["h"] = sim.every(5, tick)
+        sim.run_until(100)
+        assert ticks == [5, 10, 15]
+
+    def test_zero_interval_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.every(0, lambda: None)
+
+    def test_fire_count(self, sim):
+        handle = sim.every(7, lambda: None)
+        sim.run_until(70)
+        assert handle.fires == 10
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run_once():
+            sim = Simulator(seed=99)
+            trace = []
+            rng = sim.random.stream("jitter")
+
+            def emit(tag):
+                trace.append((sim.now, tag))
+                sim.after(rng.randint(1, 50), lambda: emit(tag))
+
+            for tag in range(3):
+                sim.after(1, lambda t=tag: emit(t))
+            sim.run_until(2000)
+            return trace
+
+        assert run_once() == run_once()

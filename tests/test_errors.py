@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaf_classes = [
+            errors.SchedulingError,
+            errors.AddressError,
+            errors.ChecksumError,
+            errors.TopologyError,
+            errors.SocketError,
+            errors.TcpError,
+            errors.RetherError,
+            errors.FslLexError,
+            errors.FslParseError,
+            errors.FslCompileError,
+            errors.ControlPlaneError,
+            errors.ScenarioError,
+        ]
+        for cls in leaf_classes:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TcpError("boom")
+
+    def test_packet_subtree(self):
+        assert issubclass(errors.ChecksumError, errors.PacketError)
+        assert issubclass(errors.AddressError, errors.PacketError)
+
+    def test_engine_subtree(self):
+        assert issubclass(errors.ControlPlaneError, errors.EngineError)
+
+
+class TestFslErrorLocations:
+    def test_location_rendered(self):
+        err = errors.FslParseError("unexpected token", line=12, column=7)
+        assert "line 12" in str(err)
+        assert err.line == 12 and err.column == 7
+
+    def test_location_optional(self):
+        err = errors.FslCompileError("unknown counter")
+        assert "line" not in str(err)
+        assert err.line == 0

@@ -14,7 +14,13 @@ observed packet under four rule placements:
                   status-broadcast tier);
 * mirror        — remote counter-vs-counter term (one value per change).
 
-Results land in benchmarks/results/control_plane.txt.
+A second (``slow``-marked) sweep measures the reliable channel's overhead
+under control-frame loss: total control frames on the wire per observed
+packet at 0% / 5% / 20% loss, with the retransmit and duplicate counters
+that explain the growth.  Deselect with ``-m "not slow"``.
+
+Results land in benchmarks/results/control_plane.txt and
+benchmarks/results/control_plane_loss.txt.
 """
 
 import pytest
@@ -101,6 +107,60 @@ def results():
     return rows
 
 
+LOSS_RATES = (0.0, 0.05, 0.20)
+
+
+def run_loss(rate: float, kind: str = "mirror", seed=23):
+    """One mirror-placement run with *rate* control-frame loss on node3."""
+    tb = Testbed(seed=seed)
+    hosts = [tb.add_host(f"node{i}") for i in range(1, 4)]
+    tb.add_switch("sw0")
+    tb.connect("sw0", *hosts)
+    tb.install_virtualwire(control="node1")
+    if rate:
+        tb.add_control_loss("node3", rate)
+    script = HEADER.format(nodes=tb.node_table_fsl()) + RULES[kind]
+
+    def workload():
+        hosts[1].udp.bind(7)
+        hosts[2].udp.bind(7)
+        sender = hosts[0].udp.bind(0)
+        for i in range(N_PACKETS):
+            tb.sim.after(
+                (i + 1) * ms(1), lambda: sender.sendto(bytes(30), hosts[1].ip, 7)
+            )
+
+    report = tb.run_scenario(
+        script, workload=workload, max_time=seconds(30), inactivity_ns=ms(200)
+    )
+    totals = {
+        key: sum(stats[key] for stats in report.engine_stats.values())
+        for key in (
+            "control_frames_sent",
+            "control_retransmits",
+            "control_duplicates_dropped",
+        )
+    }
+    totals["frames_per_packet"] = totals["control_frames_sent"] / N_PACKETS
+    totals["degraded"] = report.degraded
+    return totals
+
+
+@pytest.fixture(scope="module")
+def loss_results():
+    rows = {rate: run_loss(rate) for rate in LOSS_RATES}
+    lines = [
+        f"{'loss':>6} {'frames / packet':>16} {'retransmits':>12} {'dups dropped':>13}"
+    ]
+    for rate, row in rows.items():
+        lines.append(
+            f"{rate:>6.0%} {row['frames_per_packet']:>16.2f} "
+            f"{row['control_retransmits']:>12} {row['control_duplicates_dropped']:>13}"
+        )
+    save_table("control_plane_loss", "\n".join(lines))
+    return rows
+
+
 class TestControlPlaneAblation:
     def test_local_rules_generate_no_state_traffic(self, benchmark, results):
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -123,3 +183,34 @@ class TestControlPlaneAblation:
         """
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
         assert results["status-flappy"] >= results["mirror"]
+
+
+@pytest.mark.slow
+class TestControlLossSweep:
+    """ARQ overhead under 0/5/20% control-frame loss (robustness ablation)."""
+
+    def test_lossless_run_never_retransmits(self, benchmark, loss_results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        clean = loss_results[0.0]
+        assert clean["control_retransmits"] == 0
+        assert clean["control_duplicates_dropped"] == 0
+
+    def test_no_loss_rate_degrades_the_run(self, benchmark, loss_results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert not any(row["degraded"] for row in loss_results.values())
+
+    def test_overhead_grows_with_loss(self, benchmark, loss_results):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        frames = [loss_results[rate]["frames_per_packet"] for rate in LOSS_RATES]
+        assert frames == sorted(frames)
+        assert loss_results[0.20]["control_retransmits"] > 0
+
+    def test_overhead_stays_proportionate(self, benchmark, loss_results):
+        """Retransmission must roughly track the loss rate, not blow up:
+
+        at 20% loss the wire carries well under 2x the lossless frames.
+        """
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        clean = loss_results[0.0]["frames_per_packet"]
+        worst = loss_results[0.20]["frames_per_packet"]
+        assert worst <= 2.0 * clean

@@ -7,8 +7,10 @@ plane, the programming front-end, and the :class:`Testbed` facade.
 
 from .audit import AuditEvent, AuditLog
 from .autogen import MessageFlow, ProtocolSpec, ScriptGenerator, rether_spec
+from .chaos import ControlLossLayer
 from .classify import Classifier, VarStore
-from .control import ControlMessage, ControlType
+from .control import FLAG_RELIABLE, ControlMessage, ControlType
+from .reliable import INITIAL_RTO_NS, MAX_RETRIES, MAX_RTO_NS, ReliableControlPlane
 from .lint import Finding, Severity, lint_program, lint_text
 from .matrix import FaultMatrix, MatrixCell, MatrixReport
 from .engine import EngineStats, VirtualWireEngine
@@ -47,8 +49,14 @@ __all__ = [
     "CompiledProgram",
     "ConditionExpr",
     "ConditionSpec",
+    "ControlLossLayer",
     "ControlMessage",
     "ControlType",
+    "FLAG_RELIABLE",
+    "INITIAL_RTO_NS",
+    "MAX_RETRIES",
+    "MAX_RTO_NS",
+    "ReliableControlPlane",
     "CounterKind",
     "CounterSpec",
     "DEFAULT_INACTIVITY_NS",

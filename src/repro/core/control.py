@@ -6,6 +6,12 @@ experimental EtherType 0x88B5.  They carry scenario orchestration
 (COUNTER_UPDATE, TERM_STATUS), and result reporting (ERROR_REPORT,
 STOP_REPORT) back to the control node.
 
+The channel itself is made reliable by :mod:`repro.core.reliable`: every
+message that matters carries a per-peer sequence number and the
+``FLAG_RELIABLE`` bit, is acknowledged by an ``ACK`` message echoing the
+sequence number, and is retransmitted with exponential backoff until
+acknowledged or the retry budget runs out (see docs/CONTROL_PLANE.md).
+
 Counter values are signed 64-bit: scripts may drive a counter negative
 (the Fig 5 invariant is literally ``CanTx < 0``).
 """
@@ -16,7 +22,7 @@ import enum
 from dataclasses import dataclass
 
 from ..errors import ControlPlaneError
-from ..net.bytesutil import pack_u16, read_u16
+from ..net.bytesutil import pack_u16, pack_u32, read_u16, read_u32
 from ..net.frame import ETHERTYPE_VW_CONTROL, EthernetFrame
 
 
@@ -29,6 +35,23 @@ class ControlType(enum.Enum):
     TERM_STATUS = 6
     ERROR_REPORT = 7
     STOP_REPORT = 8
+    #: channel-level acknowledgement of a reliable message (a = acked seq's
+    #: low 16 bits, unused; the acked sequence number travels in ``seq``).
+    ACK = 9
+    #: INIT table-checksum mismatch: the node refuses to arm the tables.
+    INIT_NACK = 10
+    #: liveness probe from the front-end; the channel-level ACK is the reply.
+    HEARTBEAT = 11
+
+
+#: Message participates in the reliable-delivery protocol: it carries a
+#: meaningful sequence number, is ACKed, deduplicated and retransmitted.
+FLAG_RELIABLE = 0x01
+
+_KNOWN_FLAGS = FLAG_RELIABLE
+
+#: Exact on-wire payload size: type(1) flags(1) seq(4) a(2) b(8).
+WIRE_SIZE = 16
 
 
 @dataclass(frozen=True)
@@ -42,22 +65,38 @@ class ControlMessage:
     ========== ================ ================
     INIT       program id       table checksum
     INIT_ACK   program id       0
+    INIT_NACK  program id       computed checksum
     START      program id       0
     SHUTDOWN   program id       0
     COUNTER_UPDATE counter id   value (signed)
     TERM_STATUS    term id      0/1
     ERROR_REPORT   condition id action id
     STOP_REPORT    condition id 0
+    ACK            0            0 (acked seq in ``seq``)
+    HEARTBEAT      0            0
     ========== ================ ================
+
+    ``seq`` is the per-(sender, peer) sequence number assigned by the
+    reliable channel; ``flags`` carries :data:`FLAG_RELIABLE`.  A message
+    with ``flags == 0`` is delivered exactly as received — no ordering,
+    deduplication or acknowledgement — which is also the compatibility
+    behaviour for hand-crafted frames in tests.
     """
 
     msg_type: ControlType
     a: int = 0
     b: int = 0
+    seq: int = 0
+    flags: int = 0
+
+    @property
+    def reliable(self) -> bool:
+        return bool(self.flags & FLAG_RELIABLE)
 
     def to_payload(self) -> bytes:
         return (
-            bytes([self.msg_type.value])
+            bytes([self.msg_type.value, self.flags])
+            + pack_u32(self.seq)
             + pack_u16(self.a)
             + self.b.to_bytes(8, "big", signed=True)
         )
@@ -67,19 +106,30 @@ class ControlMessage:
 
     @classmethod
     def parse(cls, payload: bytes) -> "ControlMessage":
-        if len(payload) < 11:
+        if len(payload) < WIRE_SIZE:
             raise ControlPlaneError(
                 f"control payload of {len(payload)} bytes is too short"
+            )
+        if len(payload) > WIRE_SIZE:
+            raise ControlPlaneError(
+                f"control payload of {len(payload)} bytes has trailing garbage "
+                f"(expected exactly {WIRE_SIZE})"
             )
         try:
             msg_type = ControlType(payload[0])
         except ValueError:
             raise ControlPlaneError(f"unknown control type {payload[0]}") from None
+        flags = payload[1]
+        if flags & ~_KNOWN_FLAGS:
+            raise ControlPlaneError(f"unknown control flags {flags:#04x}")
         return cls(
             msg_type=msg_type,
-            a=read_u16(payload, 1),
-            b=int.from_bytes(payload[3:11], "big", signed=True),
+            a=read_u16(payload, 6),
+            b=int.from_bytes(payload[8:16], "big", signed=True),
+            seq=read_u32(payload, 2),
+            flags=flags,
         )
 
     def __repr__(self) -> str:
-        return f"ControlMessage({self.msg_type.name}, a={self.a}, b={self.b})"
+        rel = f", seq={self.seq}" if self.reliable else ""
+        return f"ControlMessage({self.msg_type.name}, a={self.a}, b={self.b}{rel})"

@@ -23,13 +23,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from ..errors import ControlPlaneError
+from ..errors import ControlChecksumError, ControlPlaneError
 from ..net.bytesutil import read_u16
 from ..net.frame import ETHERTYPE_VW_CONTROL, EthernetFrame
 from ..stack.layers import FrameLayer
 from .classify import Classifier
 from .control import ControlMessage, ControlType
 from .faults import DelayQueue, ReorderBuffer, apply_modify
+from .reliable import ReliableControlPlane
 from .runtime import EventStats, NodeRuntime, RuntimeHooks
 from .tables import ActionKind, CompiledProgram, Direction
 
@@ -48,6 +49,15 @@ class EngineStats:
         "control_frames_sent",
         "control_frames_received",
         "state_frames_sent",
+        "control_retransmits",
+        "control_duplicates_dropped",
+        "control_acks_sent",
+        "control_acks_received",
+        "control_peer_failures",
+        "control_sends_suppressed",
+        "heartbeats_sent",
+        "heartbeats_received",
+        "init_checksum_failures",
         "filter_entries_scanned",
         "cost_charged_ns",
     )
@@ -81,6 +91,14 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         #: optional shared audit trail (repro.core.audit.AuditLog).
         self.audit_log = None
         self.stats = EngineStats()
+        #: True once a scripted FAIL took this host down (liveness
+        #: supervision then treats unreachability as expected).
+        self.scripted_failure = False
+        #: ARQ layer: sequencing, ACKs, retransmission, dedup (§5.2).
+        self.channel = ReliableControlPlane(
+            sim, self._transmit_control, lambda: self.stats
+        )
+        self.channel.on_peer_failed = self._on_peer_failed
         self._busy_until = 0
         self._delay_queue = DelayQueue(sim, self._forward)
         self._reorder_buffer = ReorderBuffer(sim, self._forward)
@@ -101,6 +119,7 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         """Load the six tables (normally driven by an INIT control frame)."""
         self.program = program
         self.stats = EngineStats()
+        self.scripted_failure = False
         self._busy_until = 0
         if self.node_name in program.nodes:
             self.runtime = NodeRuntime(self.node_name, program, hooks=self)
@@ -234,36 +253,71 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
     # Control plane
     # ------------------------------------------------------------------
 
-    def _send_control(self, dst_mac, message: ControlMessage) -> None:
+    def _transmit_control(self, dst_mac, message: ControlMessage) -> None:
+        """Put one control frame on the wire (channel's raw transmit)."""
         self.stats.control_frames_sent += 1
         frame = message.wrap(dst_mac, self.host.mac)
         self.pass_down(frame.to_bytes())
 
-    def send_init(self, node_mac, program_id: int) -> None:
-        """Front-end API (control node only): ship the tables to a node."""
-        self._send_control(node_mac, ControlMessage(ControlType.INIT, program_id))
+    def _send_control(
+        self, dst_mac, message: ControlMessage, reliable: bool = True, on_acked=None
+    ) -> None:
+        self.channel.send(dst_mac, message, reliable=reliable, on_acked=on_acked)
 
-    def send_start(self, node_mac, program_id: int) -> None:
-        self._send_control(node_mac, ControlMessage(ControlType.START, program_id))
+    def _on_peer_failed(self, peer_mac) -> None:
+        """The channel exhausted its retry budget toward *peer_mac*."""
+        if self.frontend is not None:
+            self.frontend.node_unreachable(peer_mac)
+
+    def send_init(self, node_mac, program_id: int, checksum: int = 0) -> None:
+        """Front-end API (control node only): ship the tables to a node."""
+        self._send_control(
+            node_mac, ControlMessage(ControlType.INIT, program_id, checksum)
+        )
+
+    def send_start(self, node_mac, program_id: int, on_acked=None) -> None:
+        self._send_control(
+            node_mac, ControlMessage(ControlType.START, program_id), on_acked=on_acked
+        )
 
     def send_shutdown(self, node_mac, program_id: int) -> None:
         self._send_control(node_mac, ControlMessage(ControlType.SHUTDOWN, program_id))
+
+    def send_heartbeat(self, node_mac) -> None:
+        """Front-end API: probe a node's liveness through the channel."""
+        self.stats.heartbeats_sent += 1
+        self._send_control(node_mac, ControlMessage(ControlType.HEARTBEAT))
 
     def _handle_control(self, frame_bytes: bytes) -> None:
         self.stats.control_frames_received += 1
         frame = EthernetFrame.from_bytes(frame_bytes)
         message = ControlMessage.parse(frame.payload)
+        for deliverable in self.channel.on_frame(frame.src, message):
+            self._dispatch_control(frame, deliverable)
+
+    def _dispatch_control(self, frame: EthernetFrame, message: ControlMessage) -> None:
         handler = {
             ControlType.INIT: self._on_init,
             ControlType.INIT_ACK: self._on_init_ack,
+            ControlType.INIT_NACK: self._on_init_nack,
             ControlType.START: self._on_start,
             ControlType.SHUTDOWN: self._on_shutdown,
             ControlType.COUNTER_UPDATE: self._on_counter_update,
             ControlType.TERM_STATUS: self._on_term_status,
             ControlType.ERROR_REPORT: self._on_error_report,
             ControlType.STOP_REPORT: self._on_stop_report,
+            ControlType.HEARTBEAT: self._on_heartbeat,
         }[message.msg_type]
         handler(frame, message)
+
+    def verify_init_checksum(self, program: CompiledProgram, claimed: int) -> None:
+        """Check an INIT frame's table checksum against the shipped tables."""
+        computed = program.checksum()
+        if claimed != computed:
+            raise ControlChecksumError(
+                f"{self.node_name}: INIT table checksum mismatch "
+                f"(claimed {claimed:#010x}, computed {computed:#010x})"
+            )
 
     def _on_init(self, frame: EthernetFrame, message: ControlMessage) -> None:
         program = self.program_registry.get(message.a)
@@ -272,8 +326,25 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
                 f"{self.node_name}: INIT for unknown program {message.a}"
             )
         self.control_mac = frame.src
+        try:
+            self.verify_init_checksum(program, message.b)
+        except ControlChecksumError:
+            self.stats.init_checksum_failures += 1
+            self._send_control(
+                frame.src,
+                ControlMessage(ControlType.INIT_NACK, message.a, program.checksum()),
+            )
+            return
         self.install_program(program)
         self._send_control(frame.src, ControlMessage(ControlType.INIT_ACK, message.a))
+
+    def _on_init_nack(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.frontend is not None:
+            self.frontend.on_init_nack(frame.src, message.a, message.b)
+
+    def _on_heartbeat(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        # The channel-level ACK already answered; just account for it.
+        self.stats.heartbeats_received += 1
 
     def _on_init_ack(self, frame: EthernetFrame, message: ControlMessage) -> None:
         if self.frontend is not None:
@@ -286,12 +357,22 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         self.disable()
 
     def _on_counter_update(self, frame: EthernetFrame, message: ControlMessage) -> None:
-        if self.runtime is not None:
-            self.runtime.on_counter_update(message.a, message.b)
+        if self.runtime is None:
+            return
+        if message.a >= len(self.program.counters):
+            raise ControlPlaneError(
+                f"{self.node_name}: COUNTER_UPDATE for unknown counter {message.a}"
+            )
+        self.runtime.on_counter_update(message.a, message.b)
 
     def _on_term_status(self, frame: EthernetFrame, message: ControlMessage) -> None:
-        if self.runtime is not None:
-            self.runtime.on_term_status(message.a, bool(message.b))
+        if self.runtime is None:
+            return
+        if message.a >= len(self.program.terms):
+            raise ControlPlaneError(
+                f"{self.node_name}: TERM_STATUS for unknown term {message.a}"
+            )
+        self.runtime.on_term_status(message.a, bool(message.b))
 
     def _on_error_report(self, frame: EthernetFrame, message: ControlMessage) -> None:
         if self.frontend is not None:
@@ -348,6 +429,7 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
 
     def fail_local_host(self) -> None:
         self.enabled = False
+        self.scripted_failure = True
         self.host.fail()
 
     def now(self) -> int:

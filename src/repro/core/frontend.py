@@ -2,21 +2,31 @@
 
 The front-end parses the user's FSL script, compiles it into the six
 tables, ships them to every participating FIE/FAE over the control plane
-(INIT, acknowledged), broadcasts START once all nodes acknowledged, then
-watches for STOP/ERROR reports and the inactivity timeout.
+(INIT, checksummed and acknowledged), broadcasts START once all nodes
+acknowledged, then watches for STOP/ERROR reports, the inactivity timeout,
+and — through the reliable channel — every node's liveness.
+
+Reliability (see docs/CONTROL_PLANE.md): all orchestration rides the
+:mod:`repro.core.reliable` ARQ layer, so lost INIT/START/COUNTER_UPDATE
+frames are retransmitted instead of hanging the run.  The front-end
+additionally heartbeats every remote node while a scenario runs; a node
+whose retry budget is exhausted without a scripted FAIL is declared
+unreachable and the scenario concludes in a degraded mode
+(:class:`EndReason.NODE_UNREACHABLE` / :class:`EndReason.CONTROL_TIMEOUT`)
+naming the dead node, instead of spinning until ``max_time``.
 
 Like the paper's implementation, the whole table set goes to every node.
 Two orchestration shortcuts are taken relative to a multi-machine
 deployment and documented in DESIGN.md: table *contents* travel by shared
-reference (the INIT frame carries the program id), and the inactivity
-monitor reads a shared activity timestamp instead of sampling nodes over
-the network.
+reference (the INIT frame carries the program id and a table checksum that
+the receiver verifies), and the inactivity monitor reads a shared activity
+timestamp instead of sampling nodes over the network.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..errors import ScenarioError
 from ..net.addresses import MacAddress
@@ -27,8 +37,15 @@ from .tables import ActionKind, CompiledProgram
 
 #: Inactivity window applied when the scenario declares no timeout.
 DEFAULT_INACTIVITY_NS = 2 * NS_PER_SEC
-#: Grace period between broadcasting START and invoking the workload.
+#: Grace period between the last START acknowledgement and the workload.
 WORKLOAD_GRACE_NS = 1 * NS_PER_MS
+#: Liveness probe period while a scenario is running.  Combined with the
+#: channel's retry budget (~51 ms of silence) a dead node is detected
+#: within roughly one interval plus the budget.
+HEARTBEAT_INTERVAL_NS = 200 * NS_PER_MS
+#: INIT re-sends tolerated per node after checksum NACKs before the
+#: scenario is abandoned with CONTROL_TIMEOUT.
+MAX_INIT_RESENDS = 3
 
 
 class Frontend:
@@ -54,10 +71,17 @@ class Frontend:
         self.program: Optional[CompiledProgram] = None
         self.program_id = 0
         self._pending_acks: Set[str] = set()
+        self._pending_start_acks: Set[str] = set()
+        self._workload_scheduled = False
+        self._init_resends: Dict[str, int] = {}
+        self._heartbeat = None
         self.started = False
         self.start_time = 0
         self.last_activity = 0
         self.errors: list = []
+        self.control_errors: List[str] = []
+        self.unreachable_nodes: List[str] = []
+        self.failed_nodes: List[str] = []
         self.stop_node: Optional[str] = None
         self.stop_time: Optional[int] = None
         self.finished = False
@@ -86,10 +110,16 @@ class Frontend:
         self.program_id = next(self._program_ids)
         self._registry[self.program_id] = program
         self._pending_acks = set(program.nodes.names())
+        self._pending_start_acks = set()
+        self._workload_scheduled = False
+        self._init_resends = {}
         self.started = False
         self.start_time = 0
         self.last_activity = self.sim.now
         self.errors = []
+        self.control_errors = []
+        self.unreachable_nodes = []
+        self.failed_nodes = []
         self.stop_node = None
         self.stop_time = None
         self.finished = False
@@ -101,6 +131,12 @@ class Frontend:
             self.inactivity_ns = program.timeout_ns
         else:
             self.inactivity_ns = DEFAULT_INACTIVITY_NS
+        # A fresh scenario starts a fresh control-plane epoch: sequence
+        # numbers, dedup state and retransmit timers all reset.
+        for engine in self.engines.values():
+            engine.channel.reset()
+            engine.scripted_failure = False
+        checksum = program.checksum()
         for node in program.nodes.names():
             mac = program.nodes.get(node).mac
             if self._is_control_node(mac):
@@ -108,7 +144,7 @@ class Frontend:
                 self.control_engine.install_program(program)
                 self._pending_acks.discard(node)
             else:
-                self.control_engine.send_init(mac, self.program_id)
+                self.control_engine.send_init(mac, self.program_id, checksum)
         if not self._pending_acks:
             self._broadcast_start()
 
@@ -125,17 +161,61 @@ class Frontend:
         if not self._pending_acks and not self.started:
             self._broadcast_start()
 
+    def on_init_nack(self, src_mac: MacAddress, program_id: int, computed: int) -> None:
+        """A node refused INIT: its view of the tables fails the checksum."""
+        if program_id != self.program_id or self.program is None or self.finished:
+            return
+        entry = self.program.nodes.by_mac(src_mac)
+        node = entry.name if entry is not None else str(src_mac)
+        expected = self.program.checksum()
+        self.control_errors.append(
+            f"{node}: INIT checksum mismatch (expected {expected:#010x}, "
+            f"node computed {computed:#010x})"
+        )
+        resends = self._init_resends.get(node, 0)
+        if resends >= MAX_INIT_RESENDS:
+            self.unreachable_nodes.append(node)
+            self._finish(EndReason.CONTROL_TIMEOUT)
+            return
+        self._init_resends[node] = resends + 1
+        self.control_engine.send_init(src_mac, self.program_id, expected)
+
     def _broadcast_start(self) -> None:
         assert self.program is not None
         self.started = True
         self.start_time = self.sim.now
         self.last_activity = self.sim.now
+        remote: List[str] = []
         for node in self.program.nodes.names():
             mac = self.program.nodes.get(node).mac
             if self._is_control_node(mac):
                 self.control_engine.start_scenario()
             else:
-                self.control_engine.send_start(mac, self.program_id)
+                remote.append(node)
+        # Gate the workload on every remote engine acknowledging START, so
+        # fault injection is armed everywhere before protocol traffic
+        # begins even when the START frame itself needs retransmitting.
+        self._pending_start_acks = set(remote)
+        for node in remote:
+            mac = self.program.nodes.get(node).mac
+            self.control_engine.send_start(
+                mac, self.program_id, on_acked=lambda n=node: self._on_start_acked(n)
+            )
+        self._heartbeat = self.sim.every(
+            HEARTBEAT_INTERVAL_NS, self._heartbeat_tick, "frontend:heartbeat"
+        )
+        if not self._pending_start_acks:
+            self._schedule_workload()
+
+    def _on_start_acked(self, node: str) -> None:
+        self._pending_start_acks.discard(node)
+        if not self._pending_start_acks:
+            self._schedule_workload()
+
+    def _schedule_workload(self) -> None:
+        if self._workload_scheduled or self.finished:
+            return
+        self._workload_scheduled = True
         if self.on_running is not None:
             self.sim.after(WORKLOAD_GRACE_NS, self.on_running, "frontend:workload")
 
@@ -149,6 +229,40 @@ class Frontend:
                 self.control_engine.disable()
             else:
                 self.control_engine.send_shutdown(mac, self.program_id)
+
+    # ------------------------------------------------------------------
+    # Liveness supervision
+    # ------------------------------------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        if self.finished or self.program is None:
+            return
+        for node in self.program.nodes.names():
+            if node in self.unreachable_nodes or node in self.failed_nodes:
+                continue
+            mac = self.program.nodes.get(node).mac
+            if self._is_control_node(mac):
+                continue
+            self.control_engine.send_heartbeat(mac)
+
+    def node_unreachable(self, peer_mac: MacAddress) -> None:
+        """The control engine's retry budget toward *peer_mac* ran out."""
+        if self.finished or self.program is None:
+            return
+        entry = self.program.nodes.by_mac(peer_mac)
+        node = entry.name if entry is not None else str(peer_mac)
+        engine = self.engines.get(node)
+        if engine is not None and engine.scripted_failure:
+            # The script killed this node on purpose (FAIL fault): its
+            # silence is the experiment, not an orchestration failure.
+            if node not in self.failed_nodes:
+                self.failed_nodes.append(node)
+            return
+        if node not in self.unreachable_nodes:
+            self.unreachable_nodes.append(node)
+        self._finish(
+            EndReason.NODE_UNREACHABLE if self.started else EndReason.CONTROL_TIMEOUT
+        )
 
     # ------------------------------------------------------------------
     # Reports from engines
@@ -187,6 +301,9 @@ class Frontend:
         if not self.finished:
             self.finished = True
             self.end_reason = reason
+            if self._heartbeat is not None:
+                self._heartbeat.stop()
+                self._heartbeat = None
             self.shutdown()
 
     def force_finish(self, reason: EndReason) -> None:
@@ -228,4 +345,7 @@ class Frontend:
             counters=counters,
             final_counters=final_counters,
             engine_stats=engine_stats,
+            unreachable_nodes=list(self.unreachable_nodes),
+            failed_nodes=list(self.failed_nodes),
+            control_errors=list(self.control_errors),
         )

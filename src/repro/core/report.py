@@ -18,6 +18,12 @@ class EndReason(enum.Enum):
     MAX_TIME = "max-time"
     #: the simulator ran out of events (everything quiesced).
     QUIESCED = "quiesced"
+    #: liveness supervision declared a node dead mid-scenario (control
+    #: retransmission budget exhausted without a scripted FAIL).
+    NODE_UNREACHABLE = "node-unreachable"
+    #: scenario orchestration (INIT/INIT_ACK) never completed: a node was
+    #: unreachable, or its table checksum never verified, before START.
+    CONTROL_TIMEOUT = "control-timeout"
 
 
 @dataclass(frozen=True)
@@ -59,15 +65,32 @@ class ScenarioReport:
     final_counters: Dict[str, int] = field(default_factory=dict)
     #: per-node engine statistics.
     engine_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: nodes liveness supervision declared dead (unexpectedly silent).
+    unreachable_nodes: List[str] = field(default_factory=list)
+    #: nodes taken down by a scripted FAIL (expected deaths).
+    failed_nodes: List[str] = field(default_factory=list)
+    #: control-plane anomalies observed and survived (e.g. INIT NACKs).
+    control_errors: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run concluded without full control-plane health."""
+        return bool(self.unreachable_nodes) or self.end_reason in (
+            EndReason.NODE_UNREACHABLE,
+            EndReason.CONTROL_TIMEOUT,
+        )
 
     @property
     def passed(self) -> bool:
         """The scenario's verdict, per the paper's semantics:
 
         no FLAG_ERROR fired; if the script has a STOP rule it must have
-        fired; and a scenario with a declared timeout must not have ended
-        through inactivity or the time bound.
+        fired; a scenario with a declared timeout must not have ended
+        through inactivity or the time bound; and the control plane must
+        not have lost a node it did not deliberately kill.
         """
+        if self.degraded:
+            return False
         if self.errors:
             return False
         if self.expects_stop and self.stop_time_ns is None:
@@ -92,6 +115,15 @@ class ScenarioReport:
             lines.append(
                 f"  STOP fired on {self.stop_node} at {format_time(self.stop_time_ns)}"
             )
+        if self.unreachable_nodes:
+            lines.append(
+                "  unreachable nodes (degraded run): "
+                + ", ".join(sorted(self.unreachable_nodes))
+            )
+        if self.failed_nodes:
+            lines.append("  scripted-FAIL nodes: " + ", ".join(sorted(self.failed_nodes)))
+        for note in self.control_errors:
+            lines.append(f"  control plane: {note}")
         for error in self.errors:
             lines.append(f"  {error.render()}")
         for node in sorted(self.counters):

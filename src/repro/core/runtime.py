@@ -185,8 +185,15 @@ class NodeRuntime:
     # ------------------------------------------------------------------
 
     def on_counter_update(self, counter_id: int, value: int) -> EventStats:
-        """A remote home pushed a counter value we mirror."""
+        """A remote home pushed a counter value we mirror.
+
+        Idempotent under control-plane replays: a value-identical push (a
+        retransmission that slipped past channel dedup, or a genuine
+        re-broadcast of an unchanged value) re-evaluates nothing.
+        """
         stats = self._begin_event()
+        if self.values[counter_id] == value:
+            return self._end_event(stats)
         self.values[counter_id] = value
         self._touch()
         for term_id in self.program.counters[counter_id].term_ids:
@@ -197,7 +204,11 @@ class NodeRuntime:
         return self._end_event(stats)
 
     def on_term_status(self, term_id: int, status: bool) -> EventStats:
-        """A remote home pushed a term status change."""
+        """A remote home pushed a term status change.
+
+        Replay-safe: a duplicate status (same value as our local view)
+        schedules no condition re-evaluation.
+        """
         stats = self._begin_event()
         old = self.term_status.get(term_id, False)
         self.term_status[term_id] = status

@@ -19,6 +19,7 @@ though each node touches only a subset of the entries.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -267,6 +268,14 @@ class ConditionExpr:
         self.term_id = term_id
         self.children = list(children)
 
+    def __repr__(self) -> str:
+        if self.op == "TRUE":
+            return "TRUE"
+        if self.op == "TERM":
+            return f"T{self.term_id}"
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{self.op}({inner})"
+
     def term_ids(self) -> List[int]:
         """All term ids referenced, in first-appearance order."""
         if self.op == "TERM":
@@ -426,3 +435,23 @@ class CompiledProgram:
             "conditions": len(self.conditions),
             "actions": len(self.actions),
         }
+
+    def checksum(self) -> int:
+        """CRC-32 over a canonical rendering of all six tables.
+
+        Carried in the INIT control frame (field ``b``) and re-computed by
+        the receiving engine before the tables are armed, so a corrupted
+        table shipment is NACKed instead of silently producing a scenario
+        that tests the wrong thing.  Every constituent has a deterministic,
+        value-based ``repr``, making the checksum stable across processes
+        for equal programs.
+        """
+        parts: List[str] = [self.scenario_name, str(self.timeout_ns)]
+        parts.extend(repr(e) for e in self.filters.entries)
+        parts.extend(repr(e) for e in self.nodes.entries)
+        parts.extend(repr(c) for c in self.counters)
+        parts.extend(repr(t) for t in self.terms)
+        parts.extend(repr(c) for c in self.conditions)
+        parts.extend(repr(a) for a in self.actions)
+        parts.extend(self.variables)
+        return zlib.crc32("\x1f".join(parts).encode("utf-8"))

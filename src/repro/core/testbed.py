@@ -38,6 +38,7 @@ from ..stack.costs import CostModel
 from ..stack.node import Host
 from ..trace import TapLayer, TraceRecorder
 from .audit import AuditLog
+from .chaos import ControlLossLayer
 from .engine import VirtualWireEngine
 from .frontend import Frontend
 from .fsl import compile_text
@@ -174,6 +175,31 @@ class Testbed:
             self.sim, self.engines[control_host.name], self.engines
         )
         return self.frontend
+
+    # ------------------------------------------------------------------
+    # Control-path adversity (reliability testing)
+    # ------------------------------------------------------------------
+
+    def add_control_loss(self, ref: HostRef, rate: float) -> ControlLossLayer:
+        """Make *ref*'s control path lossy: a seeded fraction of VirtualWire
+
+        control frames crossing this host (both directions) is silently
+        dropped below the engine.  The reliable channel's retransmission
+        must mask the loss; returns the layer so tests can read its drop
+        counters.  Call after :meth:`install_virtualwire`.
+        """
+        host = self.host(ref)
+        layer = ControlLossLayer(self.sim, rate)
+        host.chain.splice_above_driver(layer)
+        return layer
+
+    def partition(self, ref: HostRef) -> None:
+        """Sever *ref* from the network entirely (NIC down, host alive).
+
+        Models an un-scripted node loss: liveness supervision must end the
+        scenario with :class:`EndReason.NODE_UNREACHABLE` naming the node.
+        """
+        self.host(ref).nic.bring_down()
 
     # ------------------------------------------------------------------
     # Script helpers

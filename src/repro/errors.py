@@ -112,5 +112,13 @@ class ControlPlaneError(EngineError):
     """Malformed or unexpected control-plane frame."""
 
 
+class ControlChecksumError(ControlPlaneError):
+    """An INIT frame's table checksum does not match the shipped tables.
+
+    Raised when verifying a received INIT; the engine converts it into an
+    INIT_NACK so the front-end re-sends instead of arming wrong tables.
+    """
+
+
 class ScenarioError(ReproError):
     """Scenario orchestration failure at the programming front-end."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.control import ControlMessage, ControlType
+from repro.core.control import FLAG_RELIABLE, WIRE_SIZE, ControlMessage, ControlType
 from repro.errors import ControlPlaneError
 from repro.net import ETHERTYPE_VW_CONTROL, EthernetFrame
 
@@ -34,6 +34,30 @@ class TestRoundTrips:
         assert reparsed.msg_type is ControlType.START
 
 
+class TestReliabilityFields:
+    def test_seq_and_flags_roundtrip(self):
+        msg = ControlMessage(
+            ControlType.COUNTER_UPDATE, a=3, b=-7, seq=0xDEADBEEF, flags=FLAG_RELIABLE
+        )
+        parsed = ControlMessage.parse(msg.to_payload())
+        assert parsed == msg
+        assert parsed.reliable
+
+    def test_default_message_is_unreliable(self):
+        """Hand-crafted frames (flags=0) bypass the ARQ protocol entirely."""
+        msg = ControlMessage(ControlType.COUNTER_UPDATE, a=1, b=2)
+        assert not msg.reliable
+        assert ControlMessage.parse(msg.to_payload()).flags == 0
+
+    def test_ack_echoes_seq(self):
+        ack = ControlMessage(ControlType.ACK, seq=42)
+        assert ControlMessage.parse(ack.to_payload()).seq == 42
+
+    def test_wire_size_is_fixed(self):
+        for msg_type in ControlType:
+            assert len(ControlMessage(msg_type, 9, 9, seq=9).to_payload()) == WIRE_SIZE
+
+
 class TestRejection:
     def test_short_payload(self):
         with pytest.raises(ControlPlaneError):
@@ -43,3 +67,18 @@ class TestRejection:
         good = ControlMessage(ControlType.START, 0).to_payload()
         with pytest.raises(ControlPlaneError):
             ControlMessage.parse(b"\xee" + good[1:])
+
+    def test_trailing_bytes_rejected(self):
+        good = ControlMessage(ControlType.START, 0).to_payload()
+        with pytest.raises(ControlPlaneError, match="trailing"):
+            ControlMessage.parse(good + b"\x00")
+
+    def test_unknown_flags_rejected(self):
+        good = bytearray(ControlMessage(ControlType.START, 0).to_payload())
+        good[1] = 0x80
+        with pytest.raises(ControlPlaneError, match="flags"):
+            ControlMessage.parse(bytes(good))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ControlPlaneError):
+            ControlMessage.parse(b"")

@@ -137,3 +137,62 @@ END
         # The packet that pulled the trigger was already through the hook
         # (FAIL is not a packet fault), so it delivers; nothing after does.
         assert got == [b"x"]
+
+
+class TestInitChecksum:
+    """Satellite of the reliable control plane: INIT integrity (§5.2)."""
+
+    def _program(self, tb):
+        from repro.core.fsl import compile_text
+
+        return compile_text(SCRIPT.format(nodes=tb.node_table_fsl()))
+
+    def test_bad_checksum_is_nacked_and_tables_stay_unarmed(self):
+        tb, (n1, n2) = make_testbed(2, seed=6)
+        engine = tb.engines["node2"]
+        program = self._program(tb)
+        engine.program_registry[1] = program
+        bad = ControlMessage(ControlType.INIT, 1, program.checksum() ^ 0xFF)
+        engine._handle_control(bad.wrap(n2.mac, n1.mac).to_bytes())
+        assert engine.program is None  # refused to arm
+        assert engine.stats.init_checksum_failures == 1
+        assert engine.stats.control_frames_sent >= 1  # the INIT_NACK
+
+    def test_good_checksum_installs_and_acks(self):
+        tb, (n1, n2) = make_testbed(2, seed=6)
+        engine = tb.engines["node2"]
+        program = self._program(tb)
+        engine.program_registry[1] = program
+        good = ControlMessage(ControlType.INIT, 1, program.checksum())
+        engine._handle_control(good.wrap(n2.mac, n1.mac).to_bytes())
+        assert engine.program is program
+        assert engine.stats.init_checksum_failures == 0
+
+    def test_checksum_is_deterministic_across_compiles(self):
+        tb, _ = make_testbed(2, seed=6)
+        assert self._program(tb).checksum() == self._program(tb).checksum()
+
+    def test_persistent_mismatch_abandons_scenario(self):
+        """A node that NACKs every re-send ends the run as CONTROL_TIMEOUT
+
+        with a degraded report naming it, instead of hanging.
+        """
+        from repro.core.frontend import MAX_INIT_RESENDS
+        from repro.core.report import EndReason
+        from repro.errors import ControlChecksumError
+
+        tb, (n1, n2) = make_testbed(2, seed=6)
+        engine = tb.engines["node2"]
+
+        def always_reject(program, claimed):
+            raise ControlChecksumError("node2: simulated persistent corruption")
+
+        engine.verify_init_checksum = always_reject
+        script = SCRIPT.format(nodes=tb.node_table_fsl())
+        report = tb.run_scenario(script, max_time=seconds(10))
+        assert report.end_reason is EndReason.CONTROL_TIMEOUT
+        assert report.unreachable_nodes == ["node2"]
+        assert not report.passed
+        assert len(report.control_errors) == MAX_INIT_RESENDS + 1
+        assert engine.stats.init_checksum_failures == MAX_INIT_RESENDS + 1
+        assert engine.program is None

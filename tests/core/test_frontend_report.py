@@ -152,3 +152,31 @@ class TestReportVerdicts:
         report = self._report(errors=[ErrorRecord("node2", 3, 1, 77, line=12)])
         text = report.render()
         assert "FAIL" in text and "node2" in text and "line 12" in text
+
+    def test_unreachable_node_degrades_and_fails(self):
+        report = self._report(
+            end_reason=EndReason.NODE_UNREACHABLE, unreachable_nodes=["node2"]
+        )
+        assert report.degraded
+        assert not report.passed
+        assert "node2" in report.render()
+
+    def test_control_timeout_degrades_even_without_named_nodes(self):
+        report = self._report(end_reason=EndReason.CONTROL_TIMEOUT)
+        assert report.degraded
+        assert not report.passed
+
+    def test_scripted_fail_nodes_do_not_degrade(self):
+        """A FAIL action's casualty is an expected death: listed in the
+
+        render, but the verdict logic is untouched.
+        """
+        report = self._report(failed_nodes=["node3"])
+        assert not report.degraded
+        assert report.passed
+        assert "node3" in report.render()
+
+    def test_control_errors_surface_in_render(self):
+        report = self._report(control_errors=["INIT NACK from node2"])
+        assert report.passed  # survived anomalies do not fail the run
+        assert "INIT NACK from node2" in report.render()

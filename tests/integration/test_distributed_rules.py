@@ -125,7 +125,14 @@ END
         received = sum(
             s["control_frames_received"] for s in report.engine_stats.values()
         )
-        # Everything sent before node3 died arrived somewhere (node3's
-        # post-mortem frames are the only permissible shortfall).
+        # Everything sent to a live node arrived somewhere.  The permissible
+        # shortfall is traffic addressed to node3 after its scripted death:
+        # the original sends (bounded by a small constant), plus the reliable
+        # channel's retransmissions and the frontend's heartbeats, which keep
+        # probing the corpse until the retry budget declares it dead.
+        probing = sum(
+            s["control_retransmits"] + s["heartbeats_sent"]
+            for s in report.engine_stats.values()
+        )
         assert sent > 0
-        assert received >= sent - 4
+        assert received >= sent - probing - 6

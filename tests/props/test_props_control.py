@@ -1,0 +1,80 @@
+"""Property tests: the control-plane wire format round-trips and its
+
+parser never leaks a low-level exception, no matter what bytes arrive.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.control import (
+    FLAG_RELIABLE,
+    WIRE_SIZE,
+    ControlMessage,
+    ControlType,
+)
+from repro.errors import ControlPlaneError
+
+msg_types = st.sampled_from(list(ControlType))
+a_values = st.integers(min_value=0, max_value=0xFFFF)
+b_values = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+seq_values = st.integers(min_value=0, max_value=0xFFFFFFFF)
+flag_values = st.sampled_from([0, FLAG_RELIABLE])
+
+
+class TestRoundTrip:
+    @given(msg_type=msg_types, a=a_values, b=b_values, seq=seq_values, flags=flag_values)
+    @settings(max_examples=300)
+    def test_every_field_roundtrips(self, msg_type, a, b, seq, flags):
+        msg = ControlMessage(msg_type, a=a, b=b, seq=seq, flags=flags)
+        parsed = ControlMessage.parse(msg.to_payload())
+        assert parsed == msg
+        assert parsed.reliable == bool(flags & FLAG_RELIABLE)
+
+    @given(msg_type=msg_types, a=a_values, b=b_values, seq=seq_values)
+    def test_payload_is_exactly_wire_size(self, msg_type, a, b, seq):
+        assert len(ControlMessage(msg_type, a, b, seq=seq).to_payload()) == WIRE_SIZE
+
+
+class TestParserTotality:
+    """parse() is total over bytes: it returns a message or raises
+
+    ControlPlaneError — never IndexError, OverflowError or ValueError.
+    """
+
+    @given(payload=st.binary(max_size=4 * WIRE_SIZE))
+    @settings(max_examples=500)
+    def test_arbitrary_bytes_never_crash(self, payload):
+        try:
+            msg = ControlMessage.parse(payload)
+        except ControlPlaneError:
+            return
+        assert isinstance(msg, ControlMessage)
+        assert len(payload) == WIRE_SIZE
+
+    @given(payload=st.binary(min_size=WIRE_SIZE, max_size=WIRE_SIZE))
+    def test_exact_size_parses_or_rejects_cleanly(self, payload):
+        """At the right length only the type and flag bytes can offend."""
+        known_type = payload[0] in {t.value for t in ControlType}
+        known_flags = payload[1] in (0, FLAG_RELIABLE)
+        if known_type and known_flags:
+            msg = ControlMessage.parse(payload)
+            assert msg.to_payload() == payload  # parse/emit are inverse
+        else:
+            with pytest.raises(ControlPlaneError):
+                ControlMessage.parse(payload)
+
+    @given(
+        msg_type=msg_types,
+        extra=st.binary(min_size=1, max_size=64),
+    )
+    def test_trailing_bytes_always_rejected(self, msg_type, extra):
+        wire = ControlMessage(msg_type, 1, 2).to_payload() + extra
+        with pytest.raises(ControlPlaneError):
+            ControlMessage.parse(wire)
+
+    @given(prefix=st.integers(min_value=0, max_value=WIRE_SIZE - 1))
+    def test_truncation_always_rejected(self, prefix):
+        wire = ControlMessage(ControlType.START, 1).to_payload()[:prefix]
+        with pytest.raises(ControlPlaneError):
+            ControlMessage.parse(wire)

@@ -1,26 +1,39 @@
-"""Ablation: linear vs indexed packet classification.
+"""Ablation: linear reference vs the production indexed classifier.
 
 The paper attributes Fig 8's linear latency growth to the engine searching
 "linearly through the packet type definitions for the exact match" (§7).
-This benchmark quantifies that design choice: it measures the production
-linear classifier against an indexed prototype that buckets filter entries
-by their EtherType tuple, over growing filter tables.
+This benchmark quantifies that design choice: it measures the linear
+reference classifier against the production :class:`IndexedClassifier`
+(promoted from the prototype that used to live here) over growing filter
+tables, and differentially checks that the two stay observationally
+identical on a mixed packet workload.
 
-The indexed variant demonstrates the flat-cost alternative the paper left
-as an optimisation; results land in benchmarks/results/classify.txt.
+Real (wall-clock) classification cost is what the index flattens; the
+*virtual-time* cost model still charges the paper's linear scan — see
+docs/CLASSIFIER.md and the parity test in bench_fig8_latency.py.
+
+Quick mode (``BENCH_CLASSIFY_QUICK=1`` in the environment) shrinks the
+sweep so the differential section doubles as a tier-1 smoke test; results
+land in benchmarks/results/classify_ablation.txt.
 """
 
-from typing import Dict, List, Optional, Tuple
+import os
+import time
+from typing import List, Tuple
 
 import pytest
 
 from conftest import save_table
-from repro.core.classify import Classifier, _read_field
-from repro.core.tables import FilterEntry, FilterTable, FilterTuple
+from repro.core.classify import Classifier, IndexedClassifier
+from repro.core.tables import FilterEntry, FilterTable, FilterTuple, VarRef
 from repro.net import FLAG_ACK, TcpSegment, build_tcp_frame
 
-TABLE_SIZES = (5, 25, 100, 400)
-PACKETS_PER_ROUND = 2_000
+QUICK = os.environ.get("BENCH_CLASSIFY_QUICK", "0") == "1"
+TABLE_SIZES = (5, 50) if QUICK else (5, 25, 100, 400)
+PACKETS_PER_ROUND = 200 if QUICK else 2_000
+#: acceptance bar: production index vs linear reference at the largest
+#: table (400 entries in the full sweep).
+MIN_SPEEDUP = 5.0
 
 
 def build_table(n_entries: int) -> FilterTable:
@@ -56,49 +69,28 @@ def sample_packet() -> bytes:
     ).to_bytes()
 
 
-class IndexedClassifier:
-    """Prototype: entries bucketed by their (12, 2) EtherType tuple value.
+def decoy_packet(index: int) -> bytes:
+    frame = bytearray(60)
+    frame[12:14] = (0x9000 + index).to_bytes(2, "big")
+    frame[14:16] = (index & 0xFFFF).to_bytes(2, "big")
+    return bytes(frame)
 
-    Entries without an EtherType tuple fall into a catch-all bucket that
-    is always scanned, preserving first-match semantics within and across
-    buckets by keeping original positions.
-    """
 
-    def __init__(self, table: FilterTable) -> None:
-        self.table = table
-        self._buckets: Dict[Optional[int], List[Tuple[int, FilterEntry]]] = {}
-        for position, entry in enumerate(table.entries):
-            key = self._ethertype_key(entry)
-            self._buckets.setdefault(key, []).append((position, entry))
-        self._linear = Classifier(table)  # reuse tuple matching
+def unmatched_packet() -> bytes:
+    frame = bytearray(60)
+    frame[12:14] = (0x1234).to_bytes(2, "big")
+    return bytes(frame)
 
-    @staticmethod
-    def _ethertype_key(entry: FilterEntry) -> Optional[int]:
-        for tup in entry.tuples:
-            if (
-                tup.offset == 12
-                and tup.nbytes == 2
-                and tup.mask is None
-                and isinstance(tup.pattern, int)
-            ):
-                return tup.pattern
-        return None
 
-    def classify(self, data: bytes) -> Optional[str]:
-        ethertype = _read_field(data, FilterTuple(12, 2, 0))
-        candidates = list(self._buckets.get(ethertype, []))
-        candidates += self._buckets.get(None, [])
-        candidates.sort(key=lambda item: item[0])
-        for _, entry in candidates:
-            if self._linear._match(entry, data) is not None:
-                return entry.name
-        return None
+def mixed_workload(size: int) -> List[bytes]:
+    """Matching, decoy-hitting, unmatched and truncated frames."""
+    packets = [sample_packet(), unmatched_packet(), sample_packet()[:30], b""]
+    packets += [decoy_packet(i) for i in range(0, max(size - 1, 1), 7)]
+    return packets
 
 
 @pytest.fixture(scope="module")
-def results():
-    import time
-
+def results() -> List[Tuple[int, float, float]]:
     packet = sample_packet()
     rows = []
     for size in TABLE_SIZES:
@@ -114,11 +106,14 @@ def results():
             indexed.classify(packet)
         indexed_s = time.perf_counter() - t0
         rows.append((size, linear_s, indexed_s))
-    lines = [f"{'entries':>8} {'linear us/pkt':>14} {'indexed us/pkt':>15}"]
+    lines = [
+        f"{'entries':>8} {'linear us/pkt':>14} {'indexed us/pkt':>15} {'speedup':>8}"
+    ]
     for size, linear_s, indexed_s in rows:
         lines.append(
             f"{size:>8} {linear_s / PACKETS_PER_ROUND * 1e6:>14.2f} "
-            f"{indexed_s / PACKETS_PER_ROUND * 1e6:>15.2f}"
+            f"{indexed_s / PACKETS_PER_ROUND * 1e6:>15.2f} "
+            f"{linear_s / max(indexed_s, 1e-12):>7.1f}x"
         )
     save_table("classify_ablation", "\n".join(lines))
     return rows
@@ -129,7 +124,7 @@ class TestClassifyAblation:
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
         small = results[0][1]
         large = results[-1][1]
-        assert large > small * 5  # 5->400 entries: cost clearly grows
+        assert large > small * 2  # the linear term is visible in the sweep
 
     def test_indexed_cost_stays_flat(self, benchmark, results):
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -137,23 +132,101 @@ class TestClassifyAblation:
         large = results[-1][2]
         assert large < small * 5  # bucketing removes the linear term
 
-    def test_equivalence(self, benchmark):
-        """The optimisation must not change classification results."""
-        table = build_table(50)
+    def test_production_speedup_at_largest_table(self, benchmark, results):
+        """Acceptance bar: the production index is ≥5× faster than the
+
+        linear reference at the largest table of the sweep (400 entries
+        in the full run).
+        """
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        size, linear_s, indexed_s = results[-1]
+        speedup = linear_s / max(indexed_s, 1e-12)
+        assert speedup >= MIN_SPEEDUP, (
+            f"indexed classifier only {speedup:.1f}x faster than linear "
+            f"at {size} entries (need {MIN_SPEEDUP}x)"
+        )
+
+    def test_index_does_less_real_work(self, benchmark):
+        """The result/cost split made explicit: identical charged scans,
+
+        far fewer entries actually examined.
+        """
+        table = build_table(max(TABLE_SIZES))
         packet = sample_packet()
+        benchmark.pedantic(
+            lambda: IndexedClassifier(table).classify(packet), rounds=1, iterations=1
+        )
         linear = Classifier(table)
         indexed = IndexedClassifier(table)
-        name = benchmark.pedantic(
-            lambda: indexed.classify(packet), rounds=1, iterations=1
-        )
-        assert name == linear.classify(packet)[0] == "tcp_data"
+        for _ in range(50):
+            linear.classify(packet)
+            indexed.classify(packet)
+        assert indexed.entries_scanned_total == linear.entries_scanned_total
+        assert indexed.entries_examined_total * 10 < linear.entries_examined_total
 
     def test_linear_throughput(self, benchmark):
-        """Raw packets/second through the production classifier at the
+        """Raw packets/second through the linear reference at the paper's
 
-        paper's 25-entry table size.
+        25-entry table size.
         """
         table = build_table(25)
         classifier = Classifier(table)
         packet = sample_packet()
         benchmark(lambda: classifier.classify(packet))
+
+    def test_indexed_throughput(self, benchmark):
+        """Raw packets/second through the production classifier at the
+
+        paper's 25-entry table size.
+        """
+        table = build_table(25)
+        classifier = IndexedClassifier(table)
+        packet = sample_packet()
+        benchmark(lambda: classifier.classify(packet))
+
+
+class TestDifferentialSmoke:
+    """Deterministic differential sweep (the quick-mode smoke test)."""
+
+    def test_equivalence_on_mixed_workload(self, benchmark):
+        def sweep():
+            for size in TABLE_SIZES:
+                table = build_table(size)
+                linear = Classifier(table)
+                indexed = IndexedClassifier(table)
+                for packet in mixed_workload(size):
+                    assert indexed.classify(packet) == linear.classify(packet)
+                assert indexed.packets_classified == linear.packets_classified
+                assert indexed.packets_unmatched == linear.packets_unmatched
+                assert (
+                    indexed.entries_scanned_total == linear.entries_scanned_total
+                )
+            return True
+
+        assert benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    def test_equivalence_with_var_entries(self, benchmark):
+        table = FilterTable(
+            [
+                FilterEntry(
+                    "rt",
+                    (
+                        FilterTuple(34, 2, 0x6000),
+                        FilterTuple(38, 4, VarRef("Seq")),
+                        FilterTuple(47, 1, 0x10, mask=0x10),
+                    ),
+                ),
+                FilterEntry(
+                    "data",
+                    (FilterTuple(34, 2, 0x6000), FilterTuple(47, 1, 0x10, mask=0x10)),
+                ),
+            ]
+        )
+        linear = Classifier(table)
+        indexed = IndexedClassifier(table)
+        packet = sample_packet()
+        result = benchmark.pedantic(
+            lambda: indexed.classify(packet), rounds=1, iterations=1
+        )
+        assert result == linear.classify(packet)
+        assert indexed.vars.snapshot() == linear.vars.snapshot()

@@ -18,6 +18,7 @@ import pytest
 
 from conftest import save_table
 from repro.bench.fig8 import MODES, measure_baseline, measure_point, render_table
+from repro.core.engine import EngineConfig
 
 FILTER_COUNTS = (2, 5, 10, 15, 20, 25)
 PROBES = 40
@@ -96,6 +97,34 @@ class TestFig8Shape:
         curve = {p.n_filters: p.overhead_percent for p in _curve(figure, "filters")}
         ratio = curve[25] / max(curve[10], 0.01)
         assert ratio < 4.0
+
+
+class TestClassifierParity:
+    def test_virtual_time_curve_identical_under_indexed_classifier(
+        self, benchmark, baseline_rtt
+    ):
+        """The indexed fast path must leave Fig 8 untouched: the cost model
+
+        charges the linear-equivalent scan count either way, so the
+        virtual-time RTT of any figure cell is *exactly* equal under both
+        classifier implementations.
+        """
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for n_filters in (5, 25):
+            by_kind = {
+                kind: measure_point(
+                    "filters",
+                    n_filters,
+                    baseline_rtt,
+                    probes=PROBES,
+                    seed=0,
+                    engine_config=EngineConfig(classifier=kind),
+                )
+                for kind in ("linear", "indexed")
+            }
+            assert (
+                by_kind["indexed"].mean_rtt_ns == by_kind["linear"].mean_rtt_ns
+            ), f"classifier choice leaked into virtual time at {n_filters} filters"
 
 
 class TestFig8Microbench:

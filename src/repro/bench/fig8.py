@@ -118,12 +118,22 @@ def measure_point(
     probes: int = 50,
     payload: int = 1000,
     seed: int = 0,
+    engine_config=None,
 ) -> Fig8Point:
-    """Measure one (mode, n_filters) cell."""
+    """Measure one (mode, n_filters) cell.
+
+    *engine_config* selects the engine tuning (e.g. the linear reference
+    classifier); because the cost model charges the *linear-equivalent*
+    scan count either way, the measured virtual-time curve must not
+    depend on it.
+    """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}")
     tb, node1, node2 = two_node_testbed(
-        seed=seed, install_vw=True, rll=(mode == "actions+rll")
+        seed=seed,
+        install_vw=True,
+        rll=(mode == "actions+rll"),
+        engine_config=engine_config,
     )
     script = build_script(
         tb.node_table_fsl(), n_filters, with_actions=mode != "filters"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..core.engine import EngineConfig
 from ..core.testbed import Testbed
 from ..stack.costs import CostModel
 from ..stack.node import Host
@@ -27,6 +28,7 @@ def two_node_testbed(
     install_vw: bool = True,
     rll: bool = False,
     costs: Optional[CostModel] = None,
+    engine_config: Optional[EngineConfig] = None,
     **medium_kwargs,
 ) -> Tuple[Testbed, Host, Host]:
     """Build the canonical 2-host testbed.
@@ -34,7 +36,9 @@ def two_node_testbed(
     *medium* is ``"switch"``, ``"hub"`` or ``"link"``.  When *install_vw*
     is False the testbed is the baseline (no engine anywhere); otherwise
     VirtualWire is installed on both hosts with node1 as the control node,
-    optionally with the RLL below the engines.
+    optionally with the RLL below the engines and with *engine_config*
+    applied to every engine (e.g. to pin the reference classifier when
+    checking Fig 8 parity).
     """
     tb = Testbed(seed=seed, costs=costs)
     node1 = tb.add_host("node1")
@@ -47,7 +51,7 @@ def two_node_testbed(
     factory("m0", **medium_kwargs)
     tb.connect("m0", node1, node2)
     if install_vw:
-        tb.install_virtualwire(control="node1", rll=rll)
+        tb.install_virtualwire(control="node1", rll=rll, engine_config=engine_config)
     return tb, node1, node2
 
 

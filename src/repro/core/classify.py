@@ -9,13 +9,30 @@ engine's cost model can charge the per-entry comparison time.
 Filter tuples with a VAR pattern bind on first match (node-locally) and
 compare for equality afterwards — the mechanism behind the paper's
 retransmission detectors (Fig 2, ``TCP_data_rt1``).
+
+Two implementations share those semantics (see docs/CLASSIFIER.md):
+
+* :class:`Classifier` — the paper-faithful linear scan, kept as the
+  reference implementation;
+* :class:`IndexedClassifier` — the production fast path.  It consults a
+  :class:`FilterIndex` compiled from the table (entries bucketed by their
+  most selective exact tuple; mask/VAR-keyed entries in an ordered
+  residual chain) so only entries that *could* match are examined.  The
+  **result is split from the cost**: the index returns the same
+  ``(packet_type, scanned)`` pair the linear scan would have produced, so
+  the virtual-time cost model — and the Fig 8 linear-growth reproduction —
+  is unchanged while the real Python-side work becomes ~O(1) per packet.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..errors import EngineError
 from .tables import FilterEntry, FilterTable, FilterTuple, VarRef
+
+#: A bucket/chain element: the entry plus its position in file order.
+_Positioned = Tuple[int, FilterEntry]
 
 
 class VarStore:
@@ -37,31 +54,34 @@ class VarStore:
         return dict(self._bindings)
 
 
-class Classifier:
-    """Stateful classifier: a filter table plus this node's VAR bindings."""
+class ClassifierBase:
+    """Shared state and tuple-matching semantics of both implementations.
+
+    Subclasses implement :meth:`classify`; everything observable — the
+    returned ``(name, scanned)`` pair, VAR bindings, and the three stats
+    counters — must be identical across implementations (enforced by the
+    differential property test in ``tests/props/test_props_classify.py``).
+    """
+
+    #: registry key, e.g. for ``EngineConfig.classifier``.
+    kind = "abstract"
 
     def __init__(self, filters: FilterTable) -> None:
         self.filters = filters
         self.vars = VarStore()
         self.packets_classified = 0
         self.packets_unmatched = 0
+        #: linear-equivalent scan count (what the cost model charges).
         self.entries_scanned_total = 0
+        #: entries actually probed by *this* implementation (real work;
+        #: equals entries_scanned_total for the linear reference).
+        self.entries_examined_total = 0
 
     def classify(self, data: bytes) -> Tuple[Optional[str], int]:
         """Return (packet type name or None, filter entries scanned)."""
-        scanned = 0
-        for entry in self.filters.entries:
-            scanned += 1
-            bindings = self._match(entry, data)
-            if bindings is not None:
-                for name, value in bindings.items():
-                    self.vars.bind(name, value)
-                self.packets_classified += 1
-                self.entries_scanned_total += scanned
-                return entry.name, scanned
-        self.packets_unmatched += 1
-        self.entries_scanned_total += scanned
-        return None, scanned
+        raise NotImplementedError
+
+    # -- shared matching ----------------------------------------------------
 
     def _match(self, entry: FilterEntry, data: bytes) -> Optional[Dict[str, int]]:
         """All tuples must match; returns new VAR bindings or None."""
@@ -86,6 +106,185 @@ class Classifier:
                 elif value != pattern:
                     return None
         return new_bindings
+
+    def _matched(self, entry: FilterEntry, bindings: Dict[str, int], scanned: int) -> Tuple[str, int]:
+        for name, value in bindings.items():
+            self.vars.bind(name, value)
+        self.packets_classified += 1
+        self.entries_scanned_total += scanned
+        return entry.name, scanned
+
+    def _unmatched(self, scanned: int) -> Tuple[None, int]:
+        self.packets_unmatched += 1
+        self.entries_scanned_total += scanned
+        return None, scanned
+
+
+class Classifier(ClassifierBase):
+    """The paper-faithful reference: a linear scan in file order."""
+
+    kind = "linear"
+
+    def classify(self, data: bytes) -> Tuple[Optional[str], int]:
+        scanned = 0
+        for entry in self.filters.entries:
+            scanned += 1
+            self.entries_examined_total += 1
+            bindings = self._match(entry, data)
+            if bindings is not None:
+                return self._matched(entry, bindings, scanned)
+        return self._unmatched(scanned)
+
+
+# ---------------------------------------------------------------------------
+# The compiled decision index
+# ---------------------------------------------------------------------------
+
+
+class FilterIndex:
+    """A first-match-preserving decision index over one :class:`FilterTable`.
+
+    Compilation picks one **discriminator field** — the ``(offset, nbytes)``
+    pair that appears as an exact (integer, maskless) tuple in the largest
+    number of entries (ties broken toward the lowest offset, then the
+    narrowest field, for determinism).  Entries carrying such a tuple at
+    that field are bucketed by its pattern value; every other entry (mask
+    or VAR at the discriminator, or no tuple there at all) joins the
+    ordered **residual chain**, which must always be considered.
+
+    For each bucket value the merged candidate chain (bucket ∪ residual,
+    sorted by original entry position) is precomputed, so classification is
+    one field read plus one dict lookup plus a walk over a — typically
+    tiny — chain.  Skipping a bucketed entry with a different discriminator
+    value is always sound: its exact tuple compares unequal, so the linear
+    scan would have rejected it too.
+    """
+
+    def __init__(self, table: FilterTable) -> None:
+        self.version = table.version
+        self.size = len(table.entries)
+        self.key_field: Optional[Tuple[int, int]] = self._pick_key_field(table.entries)
+        self.residual: List[_Positioned] = []
+        buckets: Dict[int, List[_Positioned]] = {}
+        for position, entry in enumerate(table.entries):
+            key = self._key_pattern(entry)
+            if key is None:
+                self.residual.append((position, entry))
+            else:
+                buckets.setdefault(key, []).append((position, entry))
+        #: value -> merged (bucket + residual) chain in file order.
+        self.chains: Dict[int, List[_Positioned]] = {
+            value: sorted(chain + self.residual) for value, chain in buckets.items()
+        }
+        if self.key_field is not None:
+            self._key_offset, key_nbytes = self.key_field
+            self._key_end = self._key_offset + key_nbytes
+        else:
+            self._key_offset = self._key_end = 0
+
+    @staticmethod
+    def _pick_key_field(entries: List[FilterEntry]) -> Optional[Tuple[int, int]]:
+        counts: Dict[Tuple[int, int], int] = {}
+        for entry in entries:
+            for field in {
+                (tup.offset, tup.nbytes)
+                for tup in entry.tuples
+                if tup.mask is None and isinstance(tup.pattern, int)
+            }:
+                counts[field] = counts.get(field, 0) + 1
+        if not counts:
+            return None
+        return min(counts, key=lambda f: (-counts[f], f[0], f[1]))
+
+    def _key_pattern(self, entry: FilterEntry) -> Optional[int]:
+        """The entry's exact pattern at the discriminator field, if any."""
+        if self.key_field is None:
+            return None
+        for tup in entry.tuples:
+            if (
+                (tup.offset, tup.nbytes) == self.key_field
+                and tup.mask is None
+                and isinstance(tup.pattern, int)
+            ):
+                return tup.pattern
+        return None
+
+    def chain_for(self, data: bytes) -> List[_Positioned]:
+        """The candidate entries for *data*, in file order."""
+        if self.key_field is None:
+            return self.residual
+        if self._key_end > len(data):
+            # Truncated frame: no bucketed entry can match (its
+            # discriminator read fails), so only the residual remains.
+            return self.residual
+        value = int.from_bytes(data[self._key_offset : self._key_end], "big")
+        return self.chains.get(value, self.residual)
+
+    @classmethod
+    def for_table(cls, table: FilterTable) -> "FilterIndex":
+        """The table's cached index, rebuilt when the table has changed."""
+        cached = table.cached_index
+        if isinstance(cached, cls) and cached.version == table.version:
+            return cached
+        index = cls(table)
+        table.cached_index = index
+        return index
+
+
+class IndexedClassifier(ClassifierBase):
+    """Production fast path: classify via the compiled :class:`FilterIndex`.
+
+    Observationally identical to :class:`Classifier` — same winner, same
+    VAR bindings, and the same *scanned* count (the linear-equivalent
+    position of the winner, or the full table size on a miss) so the
+    engine's virtual-time cost model still charges the paper's linear
+    scan.  Only ``entries_examined_total`` — the real Python-side work —
+    differs.
+    """
+
+    kind = "indexed"
+
+    def __init__(self, filters: FilterTable) -> None:
+        super().__init__(filters)
+        self._index = FilterIndex.for_table(filters)
+
+    def classify(self, data: bytes) -> Tuple[Optional[str], int]:
+        index = self._index
+        if index.version != self.filters.version:
+            index = self._index = FilterIndex.for_table(self.filters)
+        for position, entry in index.chain_for(data):
+            self.entries_examined_total += 1
+            bindings = self._match(entry, data)
+            if bindings is not None:
+                return self._matched(entry, bindings, position + 1)
+        return self._unmatched(index.size)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: classifier-kind knob values (``EngineConfig.classifier``).
+CLASSIFIER_KINDS: Dict[str, type] = {
+    Classifier.kind: Classifier,
+    IndexedClassifier.kind: IndexedClassifier,
+}
+
+
+def make_classifier(
+    filters: FilterTable, kind: Union[str, type] = "indexed"
+) -> ClassifierBase:
+    """Instantiate the classifier implementation named by *kind*."""
+    if isinstance(kind, type):
+        return kind(filters)
+    try:
+        cls = CLASSIFIER_KINDS[kind]
+    except KeyError:
+        raise EngineError(
+            f"unknown classifier kind {kind!r} "
+            f"(expected one of {sorted(CLASSIFIER_KINDS)})"
+        ) from None
+    return cls(filters)
 
 
 def _read_field(data: bytes, tup: FilterTuple) -> Optional[int]:

@@ -21,18 +21,41 @@ CPU.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from ..errors import ControlChecksumError, ControlPlaneError
+from ..errors import ControlChecksumError, ControlPlaneError, EngineError
 from ..net.bytesutil import read_u16
 from ..net.frame import ETHERTYPE_VW_CONTROL, EthernetFrame
 from ..stack.layers import FrameLayer
-from .classify import Classifier
+from .classify import CLASSIFIER_KINDS, ClassifierBase, make_classifier
 from .control import ControlMessage, ControlType
 from .faults import DelayQueue, ReorderBuffer, apply_modify
 from .reliable import ReliableControlPlane
 from .runtime import EventStats, NodeRuntime, RuntimeHooks
 from .tables import ActionKind, CompiledProgram, Direction
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Per-engine tuning knobs (shared by every engine of a testbed).
+
+    *classifier* selects the packet-classification implementation:
+    ``"indexed"`` (default) uses the production
+    :class:`~repro.core.classify.IndexedClassifier` fast path;
+    ``"linear"`` keeps the paper-faithful reference scan.  Both return
+    identical results and identical *scanned* counts, so the virtual-time
+    cost model is unaffected by the choice (docs/CLASSIFIER.md).
+    """
+
+    classifier: str = "indexed"
+
+    def __post_init__(self) -> None:
+        if self.classifier not in CLASSIFIER_KINDS:
+            raise EngineError(
+                f"unknown classifier kind {self.classifier!r} "
+                f"(expected one of {sorted(CLASSIFIER_KINDS)})"
+            )
 
 
 class EngineStats:
@@ -73,12 +96,13 @@ class EngineStats:
 class VirtualWireEngine(FrameLayer, RuntimeHooks):
     """The per-node FIE/FAE, implemented as a splice-in frame layer."""
 
-    def __init__(self, sim) -> None:
+    def __init__(self, sim, config: Optional[EngineConfig] = None) -> None:
         FrameLayer.__init__(self, "virtualwire")
         self.sim = sim
+        self.config = config if config is not None else EngineConfig()
         self.program: Optional[CompiledProgram] = None
         self.runtime: Optional[NodeRuntime] = None
-        self.classifier: Optional[Classifier] = None
+        self.classifier: Optional[ClassifierBase] = None
         self.enabled = False
         self.control_mac = None
         #: shared with the front-end: program id -> CompiledProgram.
@@ -123,7 +147,7 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         self._busy_until = 0
         if self.node_name in program.nodes:
             self.runtime = NodeRuntime(self.node_name, program, hooks=self)
-            self.classifier = Classifier(program.filters)
+            self.classifier = make_classifier(program.filters, self.config.classifier)
             if self.audit_log is not None:
                 self.runtime.audit = self.audit_log.recorder_for(self.node_name)
         else:

@@ -23,12 +23,19 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..errors import FslCompileError
+from ..errors import FslCompileError, TableError
 from ..net.addresses import IpAddress, MacAddress
 
 # ---------------------------------------------------------------------------
 # Filter table
 # ---------------------------------------------------------------------------
+
+#: Largest plausible frame a filter tuple may read from: a jumbo Ethernet
+#: frame (9000-byte payload + 14-byte header + 4-byte FCS).  A tuple whose
+#: ``offset + nbytes`` exceeds this can never match real traffic and is a
+#: script bug, so it is rejected at construction instead of silently
+#: classifying nothing.
+MAX_FILTER_REACH = 9018
 
 
 @dataclass(frozen=True)
@@ -56,14 +63,19 @@ class FilterTuple:
             raise FslCompileError(f"negative filter offset {self.offset}")
         if self.nbytes not in (1, 2, 4, 6, 8):
             raise FslCompileError(f"unsupported filter width {self.nbytes}")
+        if self.offset + self.nbytes > MAX_FILTER_REACH:
+            raise TableError(
+                f"filter tuple ({self.offset} {self.nbytes}) reads past any "
+                f"plausible frame (limit {MAX_FILTER_REACH} bytes)"
+            )
         limit = 1 << (8 * self.nbytes)
         if isinstance(self.pattern, int) and not 0 <= self.pattern < limit:
             raise FslCompileError(
                 f"pattern {self.pattern:#x} does not fit in {self.nbytes} bytes"
             )
         if self.mask is not None and not 0 <= self.mask < limit:
-            raise FslCompileError(
-                f"mask {self.mask:#x} does not fit in {self.nbytes} bytes"
+            raise TableError(
+                f"mask {self.mask:#x} does not fit the {self.nbytes}-byte field"
             )
 
 
@@ -75,14 +87,73 @@ class FilterEntry:
     tuples: Tuple[FilterTuple, ...]
 
 
+def _validate_entry(entry: FilterEntry) -> None:
+    """Re-run every tuple's construction-time checks for a table entry.
+
+    ``FilterTuple.__post_init__`` already rejects invalid tuples, but the
+    table cannot assume its entries came through the normal constructor
+    (deserialisation, ``dataclasses.replace`` tricks), so it re-validates.
+    """
+    if not isinstance(entry, FilterEntry):
+        raise TableError(f"filter table entry must be a FilterEntry, got {entry!r}")
+    for tup in entry.tuples:
+        tup.__post_init__()
+
+
 class FilterTable:
-    """Ordered packet definitions; classification takes the first match."""
+    """Ordered packet definitions; classification takes the first match.
+
+    Tuples are validated at construction (:class:`FilterTuple` rejects
+    out-of-frame reads and oversized masks with a :class:`TableError`),
+    and the table re-checks every entry it is handed so a table can never
+    hold an invalid definition.
+
+    The table carries a monotonically increasing :attr:`version` plus a
+    slot for the compiled classification index
+    (:class:`repro.core.classify.FilterIndex`).  Mutating the table
+    through :meth:`append` bumps the version, which invalidates the cached
+    index; code that mutates :attr:`entries` directly must call
+    :meth:`invalidate_index` itself.
+    """
 
     def __init__(self, entries: Sequence[FilterEntry] = ()) -> None:
         self.entries: List[FilterEntry] = list(entries)
+        for entry in self.entries:
+            _validate_entry(entry)
         self._by_name = {e.name: e for e in self.entries}
         if len(self._by_name) != len(self.entries):
             raise FslCompileError("duplicate packet definition name")
+        self._version = 0
+        #: cache slot owned by repro.core.classify.FilterIndex.for_table.
+        self.cached_index = None
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def append(self, entry: FilterEntry) -> None:
+        """Add a definition at the end (lowest priority) of the table."""
+        _validate_entry(entry)
+        if entry.name in self._by_name:
+            raise FslCompileError("duplicate packet definition name")
+        self.entries.append(entry)
+        self._by_name[entry.name] = entry
+        self.invalidate_index()
+
+    def invalidate_index(self) -> None:
+        """Mark any compiled classification index as stale."""
+        self._version += 1
+        self.cached_index = None
+
+    def compile_index(self):
+        """Build (or fetch) the classification index for the current table.
+
+        Called by the FSL compiler so the index exists at compile time
+        rather than on the first classified packet.
+        """
+        from .classify import FilterIndex
+
+        return FilterIndex.for_table(self)
 
     def __len__(self) -> int:
         return len(self.entries)

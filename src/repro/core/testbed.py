@@ -39,7 +39,7 @@ from ..stack.node import Host
 from ..trace import TapLayer, TraceRecorder
 from .audit import AuditLog
 from .chaos import ControlLossLayer
-from .engine import VirtualWireEngine
+from .engine import EngineConfig, VirtualWireEngine
 from .frontend import Frontend
 from .fsl import compile_text
 from .report import EndReason, ScenarioReport
@@ -131,6 +131,7 @@ class Testbed:
         rll: bool = False,
         capture: bool = False,
         audit: bool = False,
+        engine_config: Optional[EngineConfig] = None,
     ) -> Frontend:
         """Splice the FIE/FAE (and optionally the RLL below it) into hosts.
 
@@ -140,6 +141,9 @@ class Testbed:
         engine, recording exactly what the protocols under test see; with
         *audit* every engine feeds a shared :class:`AuditLog` narrating
         rule firings and fault applications (``testbed.audit_log``).
+        *engine_config* tunes every engine (e.g.
+        ``EngineConfig(classifier="linear")`` selects the reference
+        classifier instead of the indexed fast path).
         """
         if self.frontend is not None:
             raise ScenarioError("VirtualWire is already installed")
@@ -160,14 +164,14 @@ class Testbed:
                 layer = RllLayer(self.sim)
                 host.chain.splice_above_driver(layer)
                 self.rll_layers[host.name] = layer
-            engine = VirtualWireEngine(self.sim)
+            engine = VirtualWireEngine(self.sim, config=engine_config)
             engine.audit_log = self.audit_log
             host.chain.splice_below_ip(engine)
             self.engines[host.name] = engine
             if self.recorder is not None:
                 host.chain.splice_below_ip(TapLayer(self.recorder, host.name))
         if control_host.name not in self.engines:
-            engine = VirtualWireEngine(self.sim)
+            engine = VirtualWireEngine(self.sim, config=engine_config)
             engine.audit_log = self.audit_log
             control_host.chain.splice_below_ip(engine)
             self.engines[control_host.name] = engine

@@ -99,6 +99,16 @@ class FslCompileError(FslError):
     """
 
 
+class TableError(FslCompileError):
+    """A compiled table entry is structurally invalid.
+
+    Raised at table construction time — e.g. a filter tuple whose
+    ``offset + nbytes`` reads past any plausible frame, or a mask wider
+    than the field it masks.  Subclasses :class:`FslCompileError` so
+    existing callers that catch compile errors keep working.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Distributed run-time engine
 # ---------------------------------------------------------------------------

@@ -1,11 +1,35 @@
-"""Tests for packet classification: linear scan, masks, VAR binding."""
+"""Tests for packet classification: linear scan, masks, VAR binding.
 
-from repro.core.classify import Classifier
+Every behavioural test runs against BOTH implementations (the linear
+reference and the indexed production fast path) via the ``classify``
+fixture — the two must be observationally identical, including the
+*scanned* counts that feed the Fig 8 cost model.
+"""
+
+import pytest
+
+from repro.core.classify import (
+    CLASSIFIER_KINDS,
+    Classifier,
+    IndexedClassifier,
+    make_classifier,
+)
 from repro.core.tables import FilterEntry, FilterTable, FilterTuple, VarRef
+from repro.errors import EngineError
 from repro.net import FLAG_ACK, FLAG_SYN, TcpSegment, build_tcp_frame
 
 SRC_MAC = "02:00:00:00:00:01"
 DST_MAC = "02:00:00:00:00:02"
+
+
+@pytest.fixture(params=sorted(CLASSIFIER_KINDS))
+def classify_kind(request):
+    return request.param
+
+
+@pytest.fixture
+def make(classify_kind):
+    return lambda table: make_classifier(table, classify_kind)
 
 
 def tcp_frame(src_port, dst_port, flags, seq=100):
@@ -56,61 +80,115 @@ def paper_filter_table():
 
 
 class TestPaperClassification:
-    def test_syn(self):
-        classifier = Classifier(paper_filter_table())
+    def test_syn(self, make):
+        classifier = make(paper_filter_table())
         name, scanned = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_SYN))
         assert name == "TCP_syn" and scanned == 1
 
-    def test_synack_not_misclassified_as_ack(self):
+    def test_synack_not_misclassified_as_ack(self, make):
         """A SYNACK satisfies TCP_ack's mask too; first match must win."""
-        classifier = Classifier(paper_filter_table())
+        classifier = make(paper_filter_table())
         name, scanned = classifier.classify(
             tcp_frame(0x4000, 0x6000, FLAG_SYN | FLAG_ACK)
         )
         assert name == "TCP_synack" and scanned == 2
 
-    def test_data(self):
-        classifier = Classifier(paper_filter_table())
+    def test_data(self, make):
+        classifier = make(paper_filter_table())
         name, scanned = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK))
         assert name == "TCP_data" and scanned == 3
 
-    def test_pure_ack(self):
-        classifier = Classifier(paper_filter_table())
+    def test_pure_ack(self, make):
+        classifier = make(paper_filter_table())
         name, scanned = classifier.classify(tcp_frame(0x4000, 0x6000, FLAG_ACK))
         assert name == "TCP_ack" and scanned == 4
 
-    def test_unmatched_scans_whole_table(self):
-        classifier = Classifier(paper_filter_table())
+    def test_unmatched_scans_whole_table(self, make):
+        classifier = make(paper_filter_table())
         name, scanned = classifier.classify(tcp_frame(0x1111, 0x2222, FLAG_ACK))
         assert name is None and scanned == 4
         assert classifier.packets_unmatched == 1
 
-    def test_scan_accounting(self):
-        classifier = Classifier(paper_filter_table())
+    def test_scan_accounting(self, make):
+        classifier = make(paper_filter_table())
         classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_SYN))
         classifier.classify(tcp_frame(0x4000, 0x6000, FLAG_ACK))
         assert classifier.entries_scanned_total == 5
         assert classifier.packets_classified == 2
 
 
+class TestStatistics:
+    """Pin the three stats counters for both implementations, so the Fig 8
+
+    cost accounting (which charges ``entries_scanned_total`` comparisons)
+    cannot silently drift when the fast path evolves.
+    """
+
+    #: (frame args, expected name, expected linear-equivalent scan count)
+    TRAFFIC = [
+        ((0x6000, 0x4000, FLAG_SYN), "TCP_syn", 1),
+        ((0x4000, 0x6000, FLAG_SYN | FLAG_ACK), "TCP_synack", 2),
+        ((0x6000, 0x4000, FLAG_ACK), "TCP_data", 3),
+        ((0x4000, 0x6000, FLAG_ACK), "TCP_ack", 4),
+        ((0x1111, 0x2222, FLAG_ACK), None, 4),
+        ((0x6000, 0x4000, FLAG_ACK), "TCP_data", 3),
+    ]
+
+    def test_counters_pinned(self, make):
+        classifier = make(paper_filter_table())
+        for args, expected_name, expected_scanned in self.TRAFFIC:
+            name, scanned = classifier.classify(tcp_frame(*args))
+            assert (name, scanned) == (expected_name, expected_scanned)
+        assert classifier.packets_classified == 5
+        assert classifier.packets_unmatched == 1
+        assert classifier.entries_scanned_total == 1 + 2 + 3 + 4 + 4 + 3
+
+    def test_fresh_classifier_starts_at_zero(self, make):
+        classifier = make(paper_filter_table())
+        assert classifier.packets_classified == 0
+        assert classifier.packets_unmatched == 0
+        assert classifier.entries_scanned_total == 0
+        assert classifier.entries_examined_total == 0
+
+    def test_empty_table_counts_unmatched(self, make):
+        classifier = make(FilterTable([]))
+        assert classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK)) == (None, 0)
+        assert classifier.packets_unmatched == 1
+        assert classifier.entries_scanned_total == 0
+
+    def test_examined_never_exceeds_scanned_equivalent(self):
+        """The fast path's real work is bounded by the charged scan count;
+
+        the linear reference's real work IS the charged scan count.
+        """
+        linear = Classifier(paper_filter_table())
+        indexed = IndexedClassifier(paper_filter_table())
+        for args, _, _ in self.TRAFFIC:
+            linear.classify(tcp_frame(*args))
+            indexed.classify(tcp_frame(*args))
+        assert linear.entries_examined_total == linear.entries_scanned_total
+        assert indexed.entries_examined_total <= indexed.entries_scanned_total
+        assert indexed.entries_scanned_total == linear.entries_scanned_total
+
+
 class TestBoundsAndMasks:
-    def test_short_packet_cannot_match(self):
+    def test_short_packet_cannot_match(self, make):
         table = FilterTable([FilterEntry("deep", (FilterTuple(100, 4, 1),))])
-        classifier = Classifier(table)
+        classifier = make(table)
         name, _ = classifier.classify(bytes(50))
         assert name is None
 
-    def test_mask_semantics(self):
+    def test_mask_semantics(self, make):
         table = FilterTable(
             [FilterEntry("flag", (FilterTuple(0, 1, 0x10, mask=0x10),))]
         )
-        classifier = Classifier(table)
+        classifier = make(table)
         assert classifier.classify(bytes([0x18]))[0] == "flag"  # 0x18 & 0x10
         assert classifier.classify(bytes([0x08]))[0] is None
 
-    def test_exact_match_without_mask(self):
+    def test_exact_match_without_mask(self, make):
         table = FilterTable([FilterEntry("x", (FilterTuple(0, 2, 0x9900),))])
-        classifier = Classifier(table)
+        classifier = make(table)
         assert classifier.classify(b"\x99\x00rest")[0] == "x"
         assert classifier.classify(b"\x99\x01rest")[0] is None
 
@@ -130,26 +208,26 @@ class TestVarBinding:
             ]
         )
 
-    def test_first_match_binds(self):
-        classifier = Classifier(self.table())
+    def test_first_match_binds(self, make):
+        classifier = make(self.table())
         name, _ = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=777))
         assert name == "rt1"
         assert classifier.vars.get("SeqNo") == 777
 
-    def test_retransmission_detection(self):
+    def test_retransmission_detection(self, make):
         """After binding, only packets with the SAME sequence match —
 
         which is exactly how the paper's rt filters detect retransmission
         of a specific packet.
         """
-        classifier = Classifier(self.table())
+        classifier = make(self.table())
         classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=777))
         fresh, _ = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=778))
         assert fresh is None
         again, _ = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=777))
         assert again == "rt1"
 
-    def test_no_binding_on_failed_match(self):
+    def test_no_binding_on_failed_match(self, make):
         """A tuple failure later in the entry must not leak VAR bindings."""
         table = FilterTable(
             [
@@ -162,7 +240,21 @@ class TestVarBinding:
                 )
             ]
         )
-        classifier = Classifier(table)
+        classifier = make(table)
         name, _ = classifier.classify(tcp_frame(0x6000, 0x4000, FLAG_ACK, seq=555))
         assert name is None
         assert classifier.vars.get("SeqNo") is None
+
+
+class TestRegistry:
+    def test_kinds(self):
+        assert CLASSIFIER_KINDS["linear"] is Classifier
+        assert CLASSIFIER_KINDS["indexed"] is IndexedClassifier
+
+    def test_make_by_class(self):
+        classifier = make_classifier(paper_filter_table(), IndexedClassifier)
+        assert isinstance(classifier, IndexedClassifier)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EngineError, match="unknown classifier kind"):
+            make_classifier(paper_filter_table(), "quantum")

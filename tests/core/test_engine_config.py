@@ -1,0 +1,65 @@
+"""EngineConfig plumbing: the classifier knob reaches every engine."""
+
+import pytest
+
+from repro.core.classify import Classifier, IndexedClassifier
+from repro.core.engine import EngineConfig, VirtualWireEngine
+from repro.core.fsl import compile_text
+from repro.core.testbed import Testbed
+from repro.errors import EngineError
+
+
+def two_host_testbed(engine_config=None):
+    tb = Testbed(seed=3)
+    node1 = tb.add_host("node1")
+    node2 = tb.add_host("node2")
+    tb.add_switch("sw0")
+    tb.connect("sw0", node1, node2)
+    tb.install_virtualwire(control="node1", engine_config=engine_config)
+    return tb
+
+
+def minimal_program(tb):
+    return compile_text(
+        "FILTER_TABLE\n"
+        "  pkt: (12 2 0x0800)\n"
+        "END\n"
+        + tb.node_table_fsl()
+        + "\nSCENARIO knob_check\n"
+        "  P: (pkt, node1, node2, SEND)\n"
+        "  (TRUE) >> ENABLE_CNTR( P );\n"
+        "END\n"
+    )
+
+
+class TestEngineConfig:
+    def test_default_is_indexed(self):
+        assert EngineConfig().classifier == "indexed"
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(EngineError, match="unknown classifier kind"):
+            EngineConfig(classifier="bogus")
+
+    def test_engine_defaults_to_indexed_classifier(self):
+        tb = two_host_testbed()
+        program = minimal_program(tb)
+        for engine in tb.engines.values():
+            engine.install_program(program)
+            assert isinstance(engine.classifier, IndexedClassifier)
+
+    def test_linear_reference_selectable(self):
+        tb = two_host_testbed(EngineConfig(classifier="linear"))
+        program = minimal_program(tb)
+        for engine in tb.engines.values():
+            engine.install_program(program)
+            assert type(engine.classifier) is Classifier
+
+    def test_config_shared_by_all_engines(self):
+        config = EngineConfig(classifier="linear")
+        tb = two_host_testbed(config)
+        assert all(engine.config is config for engine in tb.engines.values())
+
+    def test_bare_engine_accepts_config(self):
+        tb = Testbed(seed=1)
+        engine = VirtualWireEngine(tb.sim, config=EngineConfig(classifier="linear"))
+        assert engine.config.classifier == "linear"

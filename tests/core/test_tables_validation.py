@@ -1,0 +1,105 @@
+"""Construction-time validation of the filter table.
+
+A filter tuple whose read reaches past any plausible frame, or whose mask
+is wider than the field it masks, can never match real traffic — accepting
+it silently produces a scenario that tests nothing.  Both are rejected at
+construction with a :class:`TableError` (a :class:`FslCompileError`
+subclass, so script-compilation callers keep catching one type).
+"""
+
+import pytest
+
+from repro.core.classify import IndexedClassifier
+from repro.core.tables import (
+    MAX_FILTER_REACH,
+    FilterEntry,
+    FilterTable,
+    FilterTuple,
+)
+from repro.errors import FslCompileError, TableError
+
+
+class TestTupleReach:
+    def test_huge_offset_rejected(self):
+        with pytest.raises(TableError, match="reads past any plausible frame"):
+            FilterTuple(1_000_000, 4, 1)
+
+    def test_offset_plus_width_just_past_limit_rejected(self):
+        with pytest.raises(TableError):
+            FilterTuple(MAX_FILTER_REACH - 1, 2, 0)
+
+    def test_reach_exactly_at_limit_accepted(self):
+        tup = FilterTuple(MAX_FILTER_REACH - 2, 2, 0)
+        assert tup.offset + tup.nbytes == MAX_FILTER_REACH
+
+    def test_table_construction_rejects_out_of_reach_entry(self):
+        with pytest.raises(TableError):
+            FilterTable(
+                [FilterEntry("deep", (FilterTuple(MAX_FILTER_REACH, 4, 1),))]
+            )
+
+    def test_table_error_is_a_compile_error(self):
+        with pytest.raises(FslCompileError):
+            FilterTuple(MAX_FILTER_REACH, 4, 1)
+
+
+class TestMaskWidth:
+    def test_mask_wider_than_field_rejected(self):
+        with pytest.raises(TableError, match="does not fit"):
+            FilterTuple(0, 1, 0x10, mask=0x1FF)
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(TableError):
+            FilterTuple(0, 2, 0x10, mask=-1)
+
+    def test_full_width_mask_accepted(self):
+        assert FilterTuple(0, 1, 0x10, mask=0xFF).mask == 0xFF
+
+    def test_table_construction_rejects_wide_mask(self):
+        with pytest.raises(TableError):
+            FilterTable(
+                [FilterEntry("bad", (FilterTuple(0, 2, 1, mask=0x10000),))]
+            )
+
+    def test_non_entry_rejected_by_table(self):
+        with pytest.raises(TableError, match="must be a FilterEntry"):
+            FilterTable(["not-an-entry"])
+
+
+class TestIndexInvalidation:
+    def table(self):
+        return FilterTable(
+            [FilterEntry("a", (FilterTuple(0, 2, 0x0800),))]
+        )
+
+    def test_append_bumps_version_and_drops_cache(self):
+        table = self.table()
+        index = table.compile_index()
+        assert table.cached_index is index
+        before = table.version
+        table.append(FilterEntry("b", (FilterTuple(0, 2, 0x0806),)))
+        assert table.version == before + 1
+        assert table.cached_index is None
+
+    def test_append_validates_entry(self):
+        table = self.table()
+        with pytest.raises(TableError):
+            table.append(FilterEntry("bad", (FilterTuple(MAX_FILTER_REACH, 1, 0),)))
+        with pytest.raises(FslCompileError, match="duplicate"):
+            table.append(FilterEntry("a", (FilterTuple(0, 2, 0x0806),)))
+
+    def test_classifier_sees_appended_entry(self):
+        table = self.table()
+        classifier = IndexedClassifier(table)
+        arp = (0x0806).to_bytes(2, "big") + bytes(40)
+        assert classifier.classify(arp) == (None, 1)
+        table.append(FilterEntry("arp", (FilterTuple(0, 2, 0x0806),)))
+        assert classifier.classify(arp) == ("arp", 2)
+
+    def test_restricted_table_gets_fresh_index(self):
+        table = self.table()
+        table.append(FilterEntry("b", (FilterTuple(0, 2, 0x0806),)))
+        restricted = table.restricted_to({"b"})
+        index = restricted.compile_index()
+        assert index.size == 1
+        assert restricted.cached_index is index

@@ -1,0 +1,160 @@
+"""Differential property test: IndexedClassifier ≡ linear Classifier.
+
+The indexed fast path (repro.core.classify.IndexedClassifier) must be
+observationally identical to the paper-faithful linear scan: same winning
+packet type, same *scanned* count (the cost model's linear-equivalent
+charge), same VAR bindings — including stateful multi-packet sequences
+where an early packet binds a VAR that later packets must equal — and the
+same statistics counters.  Random filter tables exercise masks, VAR
+patterns, overlapping entries and tuples that read past the frame.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify import Classifier, FilterIndex, IndexedClassifier
+from repro.core.tables import FilterEntry, FilterTable, FilterTuple, VarRef
+
+VAR_NAMES = ("SeqA", "SeqB", "SeqC")
+WIDTHS = (1, 2, 4)
+MAX_OFFSET = 48
+MAX_FRAME = 64
+
+
+@st.composite
+def filter_tuples(draw):
+    offset = draw(st.integers(min_value=0, max_value=MAX_OFFSET))
+    nbytes = draw(st.sampled_from(WIDTHS))
+    limit = 1 << (8 * nbytes)
+    kind = draw(st.sampled_from(["exact", "exact", "masked", "var"]))
+    if kind == "var":
+        return FilterTuple(offset, nbytes, VarRef(draw(st.sampled_from(VAR_NAMES))))
+    # Small pattern pool: collisions between entries create the
+    # overlapping-definition cases where first-match priority matters.
+    pattern = draw(st.integers(min_value=0, max_value=min(limit - 1, 7)))
+    if kind == "masked":
+        mask = draw(st.integers(min_value=0, max_value=min(limit - 1, 7)))
+        return FilterTuple(offset, nbytes, pattern, mask=mask)
+    return FilterTuple(offset, nbytes, pattern)
+
+
+@st.composite
+def filter_tables(draw):
+    n_entries = draw(st.integers(min_value=1, max_value=10))
+    entries = []
+    for i in range(n_entries):
+        tuples = tuple(
+            draw(st.lists(filter_tuples(), min_size=1, max_size=3))
+        )
+        entries.append(FilterEntry(f"pkt{i}", tuples))
+    return FilterTable(entries)
+
+
+@st.composite
+def frames_for(draw, table):
+    """A frame: random bytes, sometimes steered to satisfy a random entry.
+
+    Steering writes each exact/masked tuple's pattern bytes at its offset
+    (VAR tuples are left as-is, so first-match binding and later equality
+    checks both occur across a sequence); lengths below the largest offset
+    produce the truncated-read cases.
+    """
+    length = draw(st.integers(min_value=0, max_value=MAX_FRAME))
+    frame = bytearray(draw(st.binary(min_size=length, max_size=length)))
+    if draw(st.booleans()):
+        entry = draw(st.sampled_from(table.entries))
+        for tup in entry.tuples:
+            end = tup.offset + tup.nbytes
+            if end > len(frame) or isinstance(tup.pattern, VarRef):
+                continue
+            frame[tup.offset : end] = tup.pattern.to_bytes(tup.nbytes, "big")
+    return bytes(frame)
+
+
+@settings(max_examples=250, deadline=None)
+@given(data=st.data())
+def test_indexed_matches_linear_reference(data):
+    table = data.draw(filter_tables())
+    linear = Classifier(table)
+    indexed = IndexedClassifier(table)
+    n_packets = data.draw(st.integers(min_value=1, max_value=8))
+    for _ in range(n_packets):
+        frame = data.draw(frames_for(table))
+        assert indexed.classify(frame) == linear.classify(frame)
+        assert indexed.vars.snapshot() == linear.vars.snapshot()
+    assert indexed.packets_classified == linear.packets_classified
+    assert indexed.packets_unmatched == linear.packets_unmatched
+    assert indexed.entries_scanned_total == linear.entries_scanned_total
+    # The fast path may not examine MORE entries than the linear scan.
+    assert indexed.entries_examined_total <= linear.entries_examined_total
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_index_candidate_chains_are_sound_and_ordered(data):
+    """Every chain the index can yield is position-sorted, and any entry
+
+    excluded from a frame's chain is one the linear scan would reject.
+    """
+    table = data.draw(filter_tables())
+    index = FilterIndex.for_table(table)
+    for chain in list(index.chains.values()) + [index.residual]:
+        positions = [position for position, _ in chain]
+        assert positions == sorted(positions)
+    frame = data.draw(frames_for(table))
+    chain_positions = {position for position, _ in index.chain_for(frame)}
+    reference = Classifier(table)
+    for position, entry in enumerate(table.entries):
+        if position not in chain_positions:
+            assert reference._match(entry, frame) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_table_append_keeps_implementations_aligned(data):
+    """Mutating the table invalidates the index; both implementations keep
+
+    agreeing on packets classified after the update.
+    """
+    table = data.draw(filter_tables())
+    linear = Classifier(table)
+    indexed = IndexedClassifier(table)
+    frame = data.draw(frames_for(table))
+    assert indexed.classify(frame) == linear.classify(frame)
+    extra = FilterEntry(
+        "appended", tuple(data.draw(st.lists(filter_tuples(), min_size=1, max_size=2)))
+    )
+    table.append(extra)
+    for _ in range(3):
+        frame = data.draw(frames_for(table))
+        assert indexed.classify(frame) == linear.classify(frame)
+        assert indexed.vars.snapshot() == linear.vars.snapshot()
+
+
+def test_var_bind_then_match_sequence_is_identical():
+    """Deterministic pin of the paper's retransmission-detector pattern:
+
+    packet 1 binds the VAR, packet 2 (different value) must miss, packet 3
+    (same value) must hit — identically on both implementations.
+    """
+    table = FilterTable(
+        [
+            FilterEntry(
+                "rt1",
+                (
+                    FilterTuple(0, 2, 0x6000),
+                    FilterTuple(4, 4, VarRef("SeqNo")),
+                ),
+            ),
+            FilterEntry("fallback", (FilterTuple(0, 2, 0x6000),)),
+        ]
+    )
+    linear, indexed = Classifier(table), IndexedClassifier(table)
+
+    def frame(seq):
+        return (0x6000).to_bytes(2, "big") + b"\x00\x00" + seq.to_bytes(4, "big")
+
+    for packet in (frame(777), frame(778), frame(777), frame(9)):
+        assert indexed.classify(packet) == linear.classify(packet)
+        assert indexed.vars.snapshot() == linear.vars.snapshot()
+    assert linear.vars.get("SeqNo") == 777

@@ -25,9 +25,11 @@ benchmarks/results/control_plane_loss.txt.
 
 import pytest
 
-from conftest import save_table
+from conftest import campaign_header, save_table, sweep_backend
 from repro.core.testbed import Testbed
+from repro.scripts import canonical_node_table
 from repro.sim import ms, seconds
+from repro.sweep import SweepSpec, run_script_task, run_sweep
 
 HEADER = """
 FILTER_TABLE
@@ -110,31 +112,40 @@ def results():
 LOSS_RATES = (0.0, 0.05, 0.20)
 
 
-def run_loss(rate: float, kind: str = "mirror", seed=23):
-    """One mirror-placement run with *rate* control-frame loss on node3."""
-    tb = Testbed(seed=seed)
-    hosts = [tb.add_host(f"node{i}") for i in range(1, 4)]
-    tb.add_switch("sw0")
-    tb.connect("sw0", *hosts)
-    tb.install_virtualwire(control="node1")
-    if rate:
-        tb.add_control_loss("node3", rate)
-    script = HEADER.format(nodes=tb.node_table_fsl()) + RULES[kind]
+def loss_campaign(kind: str = "mirror", seed: int = 23) -> SweepSpec:
+    """The loss ablation as a sweep: one task per control-loss rate.
 
-    def workload():
-        hosts[1].udp.bind(7)
-        hosts[2].udp.bind(7)
-        sender = hosts[0].udp.bind(0)
-        for i in range(N_PACKETS):
-            tb.sim.after(
-                (i + 1) * ms(1), lambda: sender.sendto(bytes(30), hosts[1].ip, 7)
-            )
+    The three-node recipe matches the ad-hoc :func:`run` testbed exactly —
+    ``canonical_node_table(3)`` reproduces the auto-assigned addresses —
+    but each rate is now an independent picklable task, compiled once in
+    the parent and runnable on either backend.
+    """
+    script = HEADER.format(nodes=canonical_node_table(3)) + RULES[kind]
+    spec = SweepSpec("control_plane_loss", base_seed=seed)
+    for rate in LOSS_RATES:
+        spec.add(
+            f"{kind}@{rate:.0%}",
+            run_script_task,
+            script=script,
+            seed=seed,
+            control_loss={"node3": rate} if rate else {},
+            workload={
+                "kind": "udp_probes",
+                "count": N_PACKETS,
+                "interval_ns": ms(1),
+                "port": 7,
+                "bytes": 30,
+                "receiver": "node2",
+            },
+            max_time_ns=seconds(30),
+            inactivity_ns=ms(200),
+        )
+    return spec
 
-    report = tb.run_scenario(
-        script, workload=workload, max_time=seconds(30), inactivity_ns=ms(200)
-    )
+
+def _loss_totals(payload):
     totals = {
-        key: sum(stats[key] for stats in report.engine_stats.values())
+        key: sum(stats[key] for stats in payload["engine_stats"].values())
         for key in (
             "control_frames_sent",
             "control_retransmits",
@@ -142,15 +153,22 @@ def run_loss(rate: float, kind: str = "mirror", seed=23):
         )
     }
     totals["frames_per_packet"] = totals["control_frames_sent"] / N_PACKETS
-    totals["degraded"] = report.degraded
+    totals["degraded"] = payload["degraded"]
     return totals
 
 
 @pytest.fixture(scope="module")
 def loss_results():
-    rows = {rate: run_loss(rate) for rate in LOSS_RATES}
+    backend, workers = sweep_backend()
+    outcome = run_sweep(loss_campaign(), backend=backend, workers=workers)
+    assert all(row.ok for row in outcome.rows), outcome.render()
+    rows = {
+        rate: _loss_totals(row.payload)
+        for rate, row in zip(LOSS_RATES, outcome.rows)
+    }
     lines = [
-        f"{'loss':>6} {'frames / packet':>16} {'retransmits':>12} {'dups dropped':>13}"
+        campaign_header(outcome),
+        f"{'loss':>6} {'frames / packet':>16} {'retransmits':>12} {'dups dropped':>13}",
     ]
     for rate, row in rows.items():
         lines.append(

@@ -15,8 +15,9 @@ The rendered figure (both curves) is saved to benchmarks/results/fig7.txt.
 
 import pytest
 
-from conftest import save_table
-from repro.bench.fig7 import measure_point, render_table
+from conftest import campaign_header, save_table, sweep_backend
+from repro.bench.fig7 import Fig7Point, fig7_campaign, measure_point, render_table
+from repro.sweep import run_sweep
 
 OFFERED_RATES = (10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 100)
 DURATION_NS = 200_000_000  # 0.2 s of virtual pumping per point
@@ -24,13 +25,25 @@ DURATION_NS = 200_000_000  # 0.2 s of virtual pumping per point
 
 @pytest.fixture(scope="module")
 def figure():
-    points = []
-    for with_vw in (False, True):
-        for rate in OFFERED_RATES:
-            points.append(
-                measure_point(rate, with_vw, duration_ns=DURATION_NS, seed=0)
-            )
-    save_table("fig7", render_table(points))
+    """All 22 cells as one sweep campaign (script compiled once, fanned
+    out over the configured backend, rows merged in task order)."""
+    backend, workers = sweep_backend()
+    outcome = run_sweep(
+        fig7_campaign(OFFERED_RATES, duration_ns=DURATION_NS, seed=0),
+        backend=backend,
+        workers=workers,
+    )
+    assert outcome.passed, outcome.render()
+    points = [
+        Fig7Point(
+            offered_mbps=row.payload["offered_mbps"],
+            with_virtualwire=row.payload["with_virtualwire"],
+            goodput_mbps=row.payload["goodput_mbps"],
+            retransmissions=row.payload["retransmissions"],
+        )
+        for row in outcome.rows
+    ]
+    save_table("fig7", campaign_header(outcome) + "\n" + render_table(points))
     return points
 
 

@@ -16,9 +16,17 @@ benchmarks/results/fig8.txt.
 
 import pytest
 
-from conftest import save_table
-from repro.bench.fig8 import MODES, measure_baseline, measure_point, render_table
+from conftest import campaign_header, save_table, sweep_backend
+from repro.bench.fig8 import (
+    MODES,
+    Fig8Point,
+    fig8_campaign,
+    measure_baseline,
+    measure_point,
+    render_table,
+)
 from repro.core.engine import EngineConfig
+from repro.sweep import run_sweep
 
 FILTER_COUNTS = (2, 5, 10, 15, 20, 25)
 PROBES = 40
@@ -31,14 +39,32 @@ def baseline_rtt():
 
 @pytest.fixture(scope="module")
 def figure(baseline_rtt):
-    """All 18 cells of the figure, measured once per session."""
-    points = []
-    for mode in MODES:
-        for count in FILTER_COUNTS:
-            points.append(
-                measure_point(mode, count, baseline_rtt, probes=PROBES, seed=0)
-            )
-    save_table("fig8", render_table(points))
+    """All 18 cells of the figure as one sweep campaign: each cell's
+    script compiled once in the parent, cells fanned out over the
+    configured backend, rows merged in task order."""
+    backend, workers = sweep_backend()
+    outcome = run_sweep(
+        fig8_campaign(
+            baseline_rtt,
+            filter_counts=FILTER_COUNTS,
+            modes=MODES,
+            probes=PROBES,
+            seed=0,
+        ),
+        backend=backend,
+        workers=workers,
+    )
+    assert outcome.passed, outcome.render()
+    points = [
+        Fig8Point(
+            mode=row.payload["mode"],
+            n_filters=row.payload["n_filters"],
+            mean_rtt_ns=row.payload["mean_rtt_ns"],
+            baseline_rtt_ns=row.payload["baseline_rtt_ns"],
+        )
+        for row in outcome.rows
+    ]
+    save_table("fig8", campaign_header(outcome) + "\n" + render_table(points))
     return points
 
 

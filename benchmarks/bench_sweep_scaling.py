@@ -1,0 +1,72 @@
+"""Sweep-engine scaling: serial reference vs the 4-worker process pool.
+
+A 16-task fig5 campaign (one 64 KiB TCP transfer per seed) is run on both
+backends.  The merged rows must be byte-identical and every task's
+*virtual* time unchanged — parallelism may only buy wall-clock.  The
+measured numbers, including the host's core count (the hard bound on any
+speedup), land in benchmarks/results/sweep_scaling.txt.
+
+``slow``-marked: spawns process pools.  Deselect with ``-m "not slow"``.
+"""
+
+import os
+
+import pytest
+
+from conftest import save_table
+from repro.scripts import canonical_node_table, tcp_congestion_script
+from repro.sweep import SweepSpec, run_script_task, run_sweep
+
+N_TASKS = 16
+WORKERS = 4
+
+
+def scaling_campaign() -> SweepSpec:
+    spec = SweepSpec("sweep_scaling", base_seed=0)
+    spec.add_grid(
+        run_script_task,
+        axes={"seed": list(range(N_TASKS))},
+        script=tcp_congestion_script(canonical_node_table(2)),
+        workload={"kind": "tcp_bulk", "bytes": 64 * 1024},
+    )
+    return spec
+
+
+@pytest.mark.slow
+class TestSweepScaling:
+    def test_parallel_speedup_with_identical_results(self, benchmark):
+        spec = scaling_campaign()
+        serial = run_sweep(spec, backend="serial")
+        parallel = benchmark.pedantic(
+            lambda: run_sweep(spec, backend="parallel", workers=WORKERS),
+            rounds=1,
+            iterations=1,
+        )
+        assert serial.passed, serial.render()
+        assert serial.canonical_bytes() == parallel.canonical_bytes()
+        per_task_virtual = [row.virtual_ns for row in serial.rows]
+        assert per_task_virtual == [row.virtual_ns for row in parallel.rows]
+
+        cores = os.cpu_count() or 1
+        speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+        lines = [
+            f"sweep scaling: {N_TASKS}-task fig5 campaign "
+            f"(64 KiB tcp_bulk per cell, seeds 0..{N_TASKS - 1})",
+            f"host: {cores} cpu core(s)",
+            f"{'serial(1w)':<16} {serial.wall_seconds:>8.2f}s wall",
+            f"{'parallel(' + str(WORKERS) + 'w)':<16} "
+            f"{parallel.wall_seconds:>8.2f}s wall   speedup {speedup:.2f}x",
+            "merged rows byte-identical across backends: yes",
+            "per-task virtual time identical across backends: yes "
+            f"(campaign total {sum(per_task_virtual) / 1e9:.6f}s virtual)",
+            "note: each task is one CPU-bound simulation, so the speedup is",
+            "bounded by physical cores; a 1-core host can only pay the pool's",
+            "process overhead.  The >=2x target at 4 workers needs >=4 cores.",
+        ]
+        save_table("sweep_scaling", "\n".join(lines))
+        # The scaling claim is only physically satisfiable with the cores
+        # to back it; on starved hosts the differential identity above is
+        # the meaningful assertion.
+        if cores >= 4:
+            assert speedup >= 2.0, f"expected >=2x on {cores} cores, got {speedup:.2f}x"
+        assert parallel.workers == WORKERS

@@ -1,10 +1,38 @@
-"""Shared benchmark utilities: result-table persistence."""
+"""Shared benchmark utilities: result-table persistence and sweep knobs."""
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def sweep_backend():
+    """(backend, workers) for campaign fixtures, from the environment.
+
+    ``REPRO_SWEEP_BACKEND`` selects serial/parallel (default parallel);
+    ``REPRO_SWEEP_WORKERS`` pins the pool size (default: up to 4 cores).
+    Either backend yields byte-identical figures — that is the sweep
+    engine's contract — so this only trades wall-clock.
+    """
+    backend = os.environ.get("REPRO_SWEEP_BACKEND", "parallel")
+    workers = os.environ.get("REPRO_SWEEP_WORKERS")
+    return backend, (int(workers) if workers else None)
+
+
+def campaign_header(outcome) -> str:
+    """One-line wall-clock provenance for a saved figure table.
+
+    Records the campaign's actual wall time next to the serial-equivalent
+    cost (the sum of per-task wall times), so each refreshed results file
+    carries its own before/after.
+    """
+    return (
+        f"# campaign: {len(outcome.rows)} tasks via {outcome.backend}"
+        f"({outcome.workers}w), {outcome.wall_seconds:.2f}s wall "
+        f"(serial-equivalent task sum {outcome.total_task_wall_seconds:.2f}s)"
+    )
 
 
 def save_table(name: str, text: str) -> None:

@@ -5,8 +5,10 @@ Instead of hand-writing the Fig 6 script, this example describes Rether
 declaratively — its message types, its expendable nodes, and a liveness
 expectation ("real-time data keeps arriving") — and lets the generator
 emit a whole family of FSL scenarios: token drops, token delays,
-duplicated control messages, and node crashes.  A fault matrix then runs
-every generated scenario on a fresh four-node testbed.
+duplicated control messages, and node crashes.  A sweep campaign then
+runs every generated scenario on a fresh four-node testbed — compiled
+once in the parent, fanned out over a process pool, rows merged in
+deterministic task order (docs/SWEEP.md).
 
 The correct Rether implementation must survive every cell; a build whose
 token-loss recovery is disabled must fail the cells that kill the token,
@@ -15,70 +17,63 @@ with zero changes to the generated scripts.
 Run:  python examples/generated_fault_matrix.py
 """
 
+import os
+
 from repro.core.autogen import ScriptGenerator, rether_spec
-from repro.core.matrix import FaultMatrix
-from repro.core.testbed import Testbed
-from repro.rether import install_rether
+from repro.scripts import canonical_node_table
 from repro.sim import seconds
+from repro.sweep import SweepSpec, run_script_task, run_sweep
 
 RING = ["node1", "node2", "node3", "node4"]
-SENDER_PORT = 0x6000
-RECEIVER_PORT = 0x4000
+BACKEND = os.environ.get("REPRO_SWEEP_BACKEND", "parallel")
 
 
-def make_factory(**rether_kwargs):
-    """A factory producing identical fresh testbeds (one per matrix cell)."""
+def matrix_campaign(suite, max_time_ns, **rether_kwargs) -> SweepSpec:
+    """One sweep task per generated scenario, all on the same recipe:
 
-    def factory():
-        tb = Testbed(seed=5)
-        hosts = [tb.add_host(name) for name in RING]
-        tb.add_bus("bus0")
-        tb.connect("bus0", *hosts)
-        tb.install_virtualwire(control="node1")
-        install_rether(hosts, **rether_kwargs)
-
-        def workload():
-            hosts[3].tcp.listen(RECEIVER_PORT)
-            conn = hosts[0].tcp.connect(
-                hosts[3].ip, RECEIVER_PORT, local_port=SENDER_PORT
-            )
-
-            def feed():
-                conn.send(bytes(1024))
-                tb.sim.after(2_000_000, feed)  # steady 1 KB / 2 ms forever
-
-            conn.on_established = feed
-
-        return tb, workload
-
-    return factory
+    four hosts on a bus, VirtualWire everywhere, Rether ring on top, and
+    a steady 1 KB / 2 ms real-time feed from node1 to node4.
+    """
+    spec = SweepSpec("rether_fault_matrix", base_seed=5)
+    for name, script in suite.items():
+        spec.add(
+            name,
+            run_script_task,
+            script=script,
+            seed=5,
+            medium="bus",
+            rether=True,
+            rether_kwargs=rether_kwargs,
+            workload={"kind": "tcp_feed", "chunk": 1024, "interval_ns": 2_000_000},
+            max_time_ns=max_time_ns,
+        )
+    return spec
 
 
 def main() -> None:
     spec = rether_spec(RING, [("node1", "node4")])
-    # Addresses are deterministic, so a throwaway testbed supplies the
+    # Addresses are deterministic, so the canonical table supplies the
     # NODE_TABLE the generated scripts embed.
-    template = Testbed(seed=5)
-    for name in RING:
-        template.add_host(name)
-    generator = ScriptGenerator(spec, template.node_table_fsl())
+    generator = ScriptGenerator(spec, canonical_node_table(len(RING)))
     suite = generator.generate_suite()
     print(f"generated {len(suite)} scenarios from the Rether spec:")
     print("  " + ", ".join(suite))
 
     print("\n=== correct implementation ===")
-    matrix = FaultMatrix(make_factory(), max_time=seconds(30)).run(suite)
+    matrix = run_sweep(matrix_campaign(suite, seconds(30)), backend=BACKEND)
     print(matrix.render())
     assert matrix.passed
 
     print("\n=== broken build: token-loss recovery disabled ===")
-    broken = FaultMatrix(
-        make_factory(regeneration_timeout_ns=seconds(999)),
-        max_time=seconds(10),
-    ).run(suite)
+    broken = run_sweep(
+        matrix_campaign(
+            suite, seconds(10), regeneration_timeout_ns=seconds(999)
+        ),
+        backend=BACKEND,
+    )
     print(broken.render())
     assert not broken.passed, "a build without regeneration must fail"
-    failing = {cell.name for cell in broken.failures}
+    failing = {row.name for row in broken.failures}
     print(f"\ncells that caught the bug: {sorted(failing)}")
 
 

@@ -5,9 +5,11 @@ The abstract promises that "fault specifications can be reused across
 versions of a protocol implementation".  This example runs the *unchanged*
 Fig 5 script against seven versions of the TCP congestion-control module:
 the correct Tahoe algorithm, a conforming Reno alternative, plus five
-seeded bugs.  No test code changes
-between runs — only the implementation under test does — and the script's
-verdict separates the conforming versions from the broken ones.
+seeded bugs.  No test code changes between runs — only the implementation
+under test does — and the script's verdict separates the conforming
+versions from the broken ones.  The seven runs are one sweep campaign:
+the script compiles once, the variants fan out over a process pool, and
+the rows merge back in declaration order (docs/SWEEP.md).
 
 Note the FrozenWindow row: its bug makes the sender strictly *more*
 conservative, which the window-safety invariant deliberately does not
@@ -17,12 +19,10 @@ overly-timid implementation needs a throughput-oriented scenario instead.
 Run:  python examples/regression_suite.py
 """
 
-from repro import Testbed, seconds
-from repro.scripts import tcp_congestion_script
-from repro.tcp import VARIANTS
+import os
 
-SENDER_PORT = 0x6000
-RECEIVER_PORT = 0x4000
+from repro.scripts import canonical_node_table, tcp_congestion_script
+from repro.sweep import SweepSpec, run_sweep, tcp_variant_task
 
 #: variant name -> should the Fig 5 window invariant flag it?
 EXPECTED_FLAGGED = {
@@ -36,43 +36,35 @@ EXPECTED_FLAGGED = {
 }
 
 
-def run_one(variant_name: str):
-    variant = VARIANTS[variant_name]
-    testbed = Testbed(seed=7)
-    node1 = testbed.add_host("node1")
-    node2 = testbed.add_host("node2")
-    testbed.add_switch("sw0")
-    testbed.connect("sw0", node1, node2)
-    testbed.install_virtualwire(control="node1")
-    script = tcp_congestion_script(testbed.node_table_fsl())
-
-    def workload() -> None:
-        node2.tcp.listen(RECEIVER_PORT)
-        conn = node1.tcp.connect(
-            node2.ip, RECEIVER_PORT, local_port=SENDER_PORT, congestion=variant()
-        )
-        conn.on_established = lambda: conn.send(bytes(64 * 1024))
-
-    return testbed.run_scenario(script, workload=workload, max_time=seconds(60))
+def suite_campaign() -> SweepSpec:
+    script = tcp_congestion_script(canonical_node_table(2))
+    spec = SweepSpec("tcp_regression_suite", base_seed=7)
+    for name in EXPECTED_FLAGGED:
+        spec.add(name, tcp_variant_task, script=script, variant=name, seed=7)
+    return spec
 
 
 def main() -> None:
+    outcome = run_sweep(
+        suite_campaign(), backend=os.environ.get("REPRO_SWEEP_BACKEND", "parallel")
+    )
+    assert all(row.ok for row in outcome.rows), outcome.render()
     print(f"{'implementation under test':<34} {'verdict':<8} {'errors':<7} expected")
     print("-" * 66)
     all_as_expected = True
-    for name, should_flag in EXPECTED_FLAGGED.items():
-        report = run_one(name)
-        flagged = bool(report.errors)
+    for row in outcome.rows:
+        should_flag = EXPECTED_FLAGGED[row.name]
+        flagged = row.payload["flagged"]
         ok = flagged == should_flag
         all_as_expected &= ok
         print(
-            f"{name:<34} {'PASS' if report.passed else 'FAIL':<8} "
-            f"{len(report.errors):<7} "
+            f"{row.name:<34} {'PASS' if row.payload['passed'] else 'FAIL':<8} "
+            f"{len(row.payload['errors']):<7} "
             f"{'flagged' if should_flag else 'clean':<8} "
             f"{'✓' if ok else '✗ UNEXPECTED'}"
         )
     assert all_as_expected
-    print("\nregression suite OK: one script, six implementations, "
+    print("\nregression suite OK: one script, seven implementations, "
           "zero test-code changes.")
 
 

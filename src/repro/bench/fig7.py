@@ -16,8 +16,10 @@ produced: the baseline without VirtualWire and the full
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..core.tables import CompiledProgram
+from ..scripts import canonical_node_table
 from ..sim import NS_PER_SEC, ms, seconds
 from ..workloads.bulk import BulkReceiver, PacedSender
 from .fig8 import build_script
@@ -46,13 +48,25 @@ def _tcp_script(node_table_fsl: str) -> str:
     return build_script(node_table_fsl, N_FILTERS, with_actions=True, traffic="tcp")
 
 
+def fig7_script() -> str:
+    """The figure's (single) scenario script, for the canonical two-node
+    testbed whose auto-generated addresses ``canonical_node_table`` mirrors
+    — campaigns compile it once in the parent and ship the program."""
+    return _tcp_script(canonical_node_table(2))
+
+
 def measure_point(
     offered_mbps: float,
     with_virtualwire: bool,
     duration_ns: int = int(0.3 * NS_PER_SEC),
     seed: int = 0,
+    program: Optional[CompiledProgram] = None,
 ) -> Fig7Point:
-    """Measure goodput at one offered rate."""
+    """Measure goodput at one offered rate.
+
+    *program* is an optional pre-compiled :func:`fig7_script` (the sweep
+    engine's compile-once path); without it the script is compiled here.
+    """
     tb, node1, node2 = two_node_testbed(
         seed=seed,
         medium="hub",
@@ -73,7 +87,7 @@ def measure_point(
         )
 
     if with_virtualwire:
-        script = _tcp_script(tb.node_table_fsl())
+        script = program if program is not None else _tcp_script(tb.node_table_fsl())
         tb.run_scenario(
             script,
             workload=workload,
@@ -92,19 +106,58 @@ def measure_point(
     )
 
 
+def fig7_campaign(
+    offered_rates: Sequence[float],
+    duration_ns: int = int(0.3 * NS_PER_SEC),
+    seed: int = 0,
+):
+    """The figure as a sweep campaign: one task per (configuration, rate)."""
+    from ..sweep import SweepSpec, fig7_point_task
+
+    spec = SweepSpec("fig7_throughput", base_seed=seed)
+    script = fig7_script()
+    for with_vw in (False, True):
+        for rate in offered_rates:
+            label = f"{'virtualwire' if with_vw else 'baseline'}@{rate:g}Mbps"
+            params = dict(
+                offered_mbps=rate,
+                with_virtualwire=with_vw,
+                duration_ns=duration_ns,
+                seed=seed,
+            )
+            if with_vw:
+                params["script"] = script  # compiled once, shipped to workers
+            spec.add(label, fig7_point_task, **params)
+    return spec
+
+
 def run_fig7(
     offered_rates: Sequence[float] = (10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 100),
     duration_ns: int = int(0.3 * NS_PER_SEC),
     seed: int = 0,
+    backend: str = "serial",
+    workers: Optional[int] = None,
 ) -> List[Fig7Point]:
-    """Regenerate the full figure (both curves)."""
-    points = []
-    for with_vw in (False, True):
-        for rate in offered_rates:
-            points.append(
-                measure_point(rate, with_vw, duration_ns=duration_ns, seed=seed)
-            )
-    return points
+    """Regenerate the full figure (both curves) as a sweep campaign."""
+    from ..sweep import run_sweep
+
+    outcome = run_sweep(
+        fig7_campaign(offered_rates, duration_ns=duration_ns, seed=seed),
+        backend=backend,
+        workers=workers,
+    )
+    failures = [row for row in outcome.rows if not row.ok]
+    if failures:
+        raise RuntimeError(f"fig7 campaign failed: {failures[0].error}")
+    return [
+        Fig7Point(
+            offered_mbps=row.payload["offered_mbps"],
+            with_virtualwire=row.payload["with_virtualwire"],
+            goodput_mbps=row.payload["goodput_mbps"],
+            retransmissions=row.payload["retransmissions"],
+        )
+        for row in outcome.rows
+    ]
 
 
 def render_table(points: List[Fig7Point]) -> str:

@@ -18,8 +18,9 @@ echo RTT against a VirtualWire-free baseline testbed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..core.tables import CompiledProgram
 from ..sim import ms, seconds
 from ..workloads.echo import EchoClient, EchoServer
 from .harness import percent_increase, two_node_testbed
@@ -111,6 +112,15 @@ def measure_baseline(probes: int = 50, payload: int = 1000, seed: int = 0) -> fl
     return client.mean_rtt_ns
 
 
+def fig8_script(mode: str, n_filters: int) -> str:
+    """One cell's scenario source, for the canonical two-node testbed."""
+    from ..scripts import canonical_node_table
+
+    return build_script(
+        canonical_node_table(2), n_filters, with_actions=mode != "filters"
+    )
+
+
 def measure_point(
     mode: str,
     n_filters: int,
@@ -119,13 +129,15 @@ def measure_point(
     payload: int = 1000,
     seed: int = 0,
     engine_config=None,
+    program: Optional[CompiledProgram] = None,
 ) -> Fig8Point:
     """Measure one (mode, n_filters) cell.
 
     *engine_config* selects the engine tuning (e.g. the linear reference
     classifier); because the cost model charges the *linear-equivalent*
     scan count either way, the measured virtual-time curve must not
-    depend on it.
+    depend on it.  *program* is an optional pre-compiled
+    :func:`fig8_script` (the sweep engine's compile-once path).
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}")
@@ -135,8 +147,10 @@ def measure_point(
         rll=(mode == "actions+rll"),
         engine_config=engine_config,
     )
-    script = build_script(
-        tb.node_table_fsl(), n_filters, with_actions=mode != "filters"
+    script = (
+        program
+        if program is not None
+        else build_script(tb.node_table_fsl(), n_filters, with_actions=mode != "filters")
     )
     server = EchoServer(node2)
     state: Dict[str, EchoClient] = {}
@@ -154,21 +168,73 @@ def measure_point(
     return Fig8Point(mode, n_filters, client.mean_rtt_ns, baseline_rtt_ns)
 
 
+def fig8_campaign(
+    baseline_rtt_ns: float,
+    filter_counts: Sequence[int] = (2, 5, 10, 15, 20, 25),
+    modes: Sequence[str] = MODES,
+    probes: int = 50,
+    seed: int = 0,
+):
+    """The figure as a sweep campaign: one task per (mode, filter count).
+
+    The baseline RTT is measured once by the caller (it is shared by every
+    cell) and shipped as a plain number; each cell's script is compiled
+    once here in the parent.
+    """
+    from ..sweep import SweepSpec, fig8_point_task
+
+    spec = SweepSpec("fig8_latency", base_seed=seed)
+    for mode in modes:
+        for n_filters in filter_counts:
+            spec.add(
+                f"{mode}@{n_filters}",
+                fig8_point_task,
+                mode=mode,
+                n_filters=n_filters,
+                baseline_rtt_ns=baseline_rtt_ns,
+                probes=probes,
+                seed=seed,
+                script=fig8_script(mode, n_filters),
+            )
+    return spec
+
+
 def run_fig8(
     filter_counts: Sequence[int] = (2, 5, 10, 15, 20, 25),
     modes: Sequence[str] = MODES,
     probes: int = 50,
     seed: int = 0,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    baseline_rtt_ns: Optional[float] = None,
 ) -> List[Fig8Point]:
     """Regenerate the full figure: every (mode, filter count) cell."""
-    baseline = measure_baseline(probes=probes, seed=seed)
-    points = []
-    for mode in modes:
-        for n_filters in filter_counts:
-            points.append(
-                measure_point(mode, n_filters, baseline, probes=probes, seed=seed)
-            )
-    return points
+    from ..sweep import run_sweep
+
+    baseline = (
+        baseline_rtt_ns
+        if baseline_rtt_ns is not None
+        else measure_baseline(probes=probes, seed=seed)
+    )
+    outcome = run_sweep(
+        fig8_campaign(
+            baseline, filter_counts=filter_counts, modes=modes, probes=probes, seed=seed
+        ),
+        backend=backend,
+        workers=workers,
+    )
+    failures = [row for row in outcome.rows if not row.ok]
+    if failures:
+        raise RuntimeError(f"fig8 campaign failed: {failures[0].error}")
+    return [
+        Fig8Point(
+            mode=row.payload["mode"],
+            n_filters=row.payload["n_filters"],
+            mean_rtt_ns=row.payload["mean_rtt_ns"],
+            baseline_rtt_ns=row.payload["baseline_rtt_ns"],
+        )
+        for row in outcome.rows
+    ]
 
 
 def render_table(points: List[Fig8Point]) -> str:

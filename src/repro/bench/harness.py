@@ -46,6 +46,7 @@ def two_node_testbed(
     factory = {
         "switch": tb.add_switch,
         "hub": tb.add_hub,
+        "bus": tb.add_bus,
         "link": tb.add_link,
     }[medium]
     factory("m0", **medium_kwargs)

@@ -1,4 +1,4 @@
-"""Command-line interface: inspect and lint FSL scripts.
+"""Command-line interface: inspect, lint and sweep FSL scripts.
 
 The paper's front-end accepts scripts "through a command line interface"
 (§5.1).  This module provides that surface for the reproduction::
@@ -6,9 +6,13 @@ The paper's front-end accepts scripts "through a command line interface"
     python -m repro check  scenario.fsl            # parse + compile
     python -m repro tables scenario.fsl            # dump the six tables
     python -m repro lint   scenario.fsl --strict   # static analysis
+    python -m repro sweep  scenario.fsl --seeds 0,1,2 --workers 4
 
-Running scenarios needs a testbed, which is Python code by design (see
-examples/); the CLI covers the script-authoring loop.
+``sweep`` runs a whole campaign — the Cartesian product of seeds, media
+and control-loss rates — on the testbed reconstructed from the script's
+own node table, compiled once and fanned out over a process pool with a
+deterministic merge (docs/SWEEP.md).  Bespoke topologies and workloads
+remain Python code by design (see examples/).
 """
 
 from __future__ import annotations
@@ -174,6 +178,52 @@ def cmd_scenarios(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .sim import NS_PER_SEC
+    from .sweep import SweepSpec, run_script_task, run_sweep
+
+    script = _load(args.script)
+    seeds = [int(s) for s in args.seeds.split(",") if s != ""]
+    media = [m for m in args.media.split(",") if m != ""]
+    losses = (
+        [float(x) for x in args.loss.split(",") if x != ""] if args.loss else [0.0]
+    )
+    if not seeds or not media or not losses:
+        raise ReproError("sweep needs at least one seed, medium and loss rate")
+    spec = SweepSpec(args.script, base_seed=seeds[0])
+    for seed in seeds:
+        for medium in media:
+            for rate in losses:
+                label = f"seed={seed},medium={medium}"
+                if args.loss:
+                    label += f",loss={rate:g}"
+                spec.add(
+                    label,
+                    run_script_task,
+                    script=script,
+                    scenario=args.scenario,
+                    seed=seed,
+                    medium=medium,
+                    control_loss={args.loss_node: rate} if rate else {},
+                    rll=args.rll,
+                    workload={"kind": args.workload},
+                    max_time_ns=int(args.max_time * NS_PER_SEC),
+                )
+    outcome = run_sweep(spec, backend=args.backend, workers=args.workers)
+    if args.json:
+        print(
+            json.dumps(
+                [row.canonical() for row in outcome.rows], indent=2, sort_keys=True
+            ),
+            file=out,
+        )
+    else:
+        print(outcome.render(), file=out)
+    return 0 if outcome.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +252,56 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios = sub.add_parser("scenarios", help="list a script's scenarios")
     scenarios.add_argument("script")
     scenarios.set_defaults(handler=cmd_scenarios)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a campaign: seeds x media x loss rates, parallel by default",
+    )
+    sweep.add_argument("script")
+    sweep.add_argument("--scenario", default=None)
+    sweep.add_argument(
+        "--seeds", default="0", help="comma-separated simulator seeds (default 0)"
+    )
+    sweep.add_argument(
+        "--media",
+        default="switch",
+        help="comma-separated media: switch, hub, bus, link (default switch)",
+    )
+    sweep.add_argument(
+        "--loss",
+        default=None,
+        help="comma-separated control-frame loss rates (e.g. 0,0.05,0.2)",
+    )
+    sweep.add_argument(
+        "--loss-node",
+        default="node2",
+        help="node whose control channel the --loss rates degrade",
+    )
+    sweep.add_argument(
+        "--workload",
+        default="tcp_bulk",
+        choices=("tcp_bulk", "tcp_feed", "udp_probes", "none"),
+        help="traffic driven during each run (default tcp_bulk)",
+    )
+    sweep.add_argument(
+        "--rll", action="store_true", help="enable the Reliable Link Layer"
+    )
+    sweep.add_argument(
+        "--backend", default="parallel", choices=("serial", "parallel")
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (default: cores, max 4)"
+    )
+    sweep.add_argument(
+        "--max-time",
+        type=float,
+        default=60.0,
+        help="virtual-time cap per run, in seconds (default 60)",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="print canonical result rows as JSON"
+    )
+    sweep.set_defaults(handler=cmd_sweep)
 
     return parser
 

@@ -104,6 +104,47 @@ class ScenarioReport:
             return False
         return True
 
+    def summary(self) -> Dict[str, object]:
+        """The report as a plain, picklable, JSON-able dict.
+
+        This is the form sweep campaigns ship back from worker processes
+        (:mod:`repro.sweep`): only builtin container/scalar types, with
+        deterministic ordering (lists sorted where the source order is a
+        set-like accumulation), so two runs of the same seeded scenario
+        serialise to byte-identical summaries regardless of the process
+        that produced them.
+        """
+        return {
+            "scenario": self.scenario_name,
+            "passed": self.passed,
+            "degraded": self.degraded,
+            "end_reason": self.end_reason.value,
+            "duration_ns": self.duration_ns,
+            "stop_node": self.stop_node,
+            "stop_time_ns": self.stop_time_ns,
+            "errors": [
+                {
+                    "node": e.node,
+                    "condition_id": e.condition_id,
+                    "action_id": e.action_id,
+                    "time_ns": e.time_ns,
+                    "line": e.line,
+                }
+                for e in self.errors
+            ],
+            "counters": {
+                node: dict(values) for node, values in sorted(self.counters.items())
+            },
+            "final_counters": dict(self.final_counters),
+            "engine_stats": {
+                node: dict(values)
+                for node, values in sorted(self.engine_stats.items())
+            },
+            "unreachable_nodes": sorted(self.unreachable_nodes),
+            "failed_nodes": sorted(self.failed_nodes),
+            "control_errors": list(self.control_errors),
+        }
+
     def render(self) -> str:
         """Human-readable multi-line summary."""
         lines = [

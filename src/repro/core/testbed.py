@@ -27,7 +27,8 @@ scripts never hard-code addresses.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import ScenarioError, TopologyError
 from ..net.addresses import IpAddress, MacAddress
@@ -53,6 +54,38 @@ class Testbed:
 
     #: Not a pytest test class, despite the name.
     __test__ = False
+
+    #: Shared compile cache keyed by ``(script text, scenario name)``.
+    #: Regression suites re-run the same string script against a fresh
+    #: testbed per iteration; compiling the six tables each time is pure
+    #: waste, and the sweep engine's compile-once-in-the-parent path
+    #: (:mod:`repro.sweep`) goes through the same entry point.  Bounded so
+    #: generated script families cannot grow it without limit.
+    _compile_cache: "OrderedDict[Tuple[str, Optional[str]], CompiledProgram]" = (
+        OrderedDict()
+    )
+    _COMPILE_CACHE_MAX = 64
+
+    @classmethod
+    def compile_cached(
+        cls, script: str, scenario: Optional[str] = None
+    ) -> CompiledProgram:
+        """Compile *script* (or return the cached result) — LRU, shared
+        across all testbeds of the process.
+
+        Callers must treat the returned program as immutable: it may be
+        handed out again for the same source text.
+        """
+        key = (script, scenario)
+        cached = cls._compile_cache.get(key)
+        if cached is not None:
+            cls._compile_cache.move_to_end(key)
+            return cached
+        program = compile_text(script, scenario)
+        cls._compile_cache[key] = program
+        while len(cls._compile_cache) > cls._COMPILE_CACHE_MAX:
+            cls._compile_cache.popitem(last=False)
+        return program
 
     def __init__(self, seed: int = 0, costs: Optional[CostModel] = None) -> None:
         self.sim = Simulator(seed=seed)
@@ -246,7 +279,7 @@ class Testbed:
         program = (
             script
             if isinstance(script, CompiledProgram)
-            else compile_text(script, scenario)
+            else self.compile_cached(script, scenario)
         )
         self.topology.validate(host.nic for host in self.hosts.values())
         frontend = self.frontend

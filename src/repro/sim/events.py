@@ -5,9 +5,15 @@ a global insertion counter.  Ties at the same virtual instant therefore fire
 in the order they were scheduled, which makes every run deterministic without
 any reliance on hash ordering or object identity.
 
-Events are cancellable: :meth:`EventQueue.cancel` marks the handle and the
-event loop skips dead entries lazily (the standard heapq idiom), so
-cancellation is O(1) and pop stays O(log n) amortised.
+Events are cancellable: cancellation marks the handle and the event loop
+skips dead entries lazily (the standard heapq idiom), so cancellation is
+O(1) and pop stays O(log n) amortised.  Long runs that cancel timers
+constantly — a TCP transfer re-arms its RTO on every ACK — would otherwise
+accumulate dead entries until they happen to reach the heap top, so the
+queue **compacts** itself once the dead outnumber the live beyond a fixed
+floor (:data:`COMPACT_MIN_DEAD`): live entries are copied out and
+re-heapified, an O(n) operation amortised over the >n cancellations that
+triggered it.
 """
 
 from __future__ import annotations
@@ -22,11 +28,16 @@ from ..errors import SchedulingError
 #: closures or ``functools.partial`` at scheduling time.
 Callback = Callable[[], None]
 
+#: Compaction floor: never compact below this many dead entries, so small
+#: queues keep the cheap lazy-discard behaviour.  Above it, a heap that is
+#: more than half dead is rebuilt from its live entries.
+COMPACT_MIN_DEAD = 1024
+
 
 class EventHandle:
     """A scheduled event, returned so the caller may cancel or inspect it."""
 
-    __slots__ = ("when", "seq", "callback", "label", "cancelled")
+    __slots__ = ("when", "seq", "callback", "label", "cancelled", "queue")
 
     def __init__(self, when: int, seq: int, callback: Callback, label: str) -> None:
         self.when = when
@@ -34,11 +45,18 @@ class EventHandle:
         self.callback: Optional[Callback] = callback
         self.label = label
         self.cancelled = False
+        #: the owning queue, while the entry sits in its heap; the queue
+        #: clears it on pop so post-fire cancels cannot skew accounting.
+        self.queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Safe to call more than once."""
+        if self.cancelled or self.callback is None:
+            return  # already cancelled, or already fired: nothing to undo
         self.cancelled = True
         self.callback = None  # break reference cycles promptly
+        if self.queue is not None:
+            self.queue._on_cancel()
 
     @property
     def pending(self) -> bool:
@@ -67,20 +85,45 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, live plus not-yet-discarded dead entries.
+
+        Exposed for diagnostics and the compaction tests; ``len(queue)``
+        remains the live count.
+        """
+        return len(self._heap)
+
     def push(self, when: int, callback: Callback, label: str = "") -> EventHandle:
         """Schedule *callback* at absolute time *when* and return its handle."""
         if callback is None:
             raise SchedulingError("cannot schedule a None callback")
         handle = EventHandle(int(when), next(self._counter), callback, label)
+        handle.queue = self
         heapq.heappush(self._heap, handle)
         self._live += 1
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel *handle*; the heap entry is discarded lazily on pop."""
-        if handle.pending:
-            handle.cancel()
-            self._live -= 1
+        handle.cancel()
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for a cancellation (also via ``handle.cancel()``)."""
+        self._live -= 1
+        dead = len(self._heap) - self._live
+        if dead > COMPACT_MIN_DEAD and dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from its live entries.
+
+        ``heapify`` over :class:`EventHandle` uses the same ``(when, seq)``
+        ordering as the incremental pushes, so firing order — including
+        same-instant insertion-order ties — is unchanged.
+        """
+        self._heap = [h for h in self._heap if not h.cancelled]
+        heapq.heapify(self._heap)
 
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the next live event, or None if empty."""
@@ -96,19 +139,21 @@ class EventQueue:
         if not self._heap:
             raise SchedulingError("pop from an empty event queue")
         handle = heapq.heappop(self._heap)
+        handle.queue = None
         self._live -= 1
         return handle
 
     def clear(self) -> None:
         """Drop every pending event (used when tearing a simulator down)."""
         for handle in self._heap:
+            handle.queue = None  # detach first: no per-handle accounting
             handle.cancel()
         self._heap.clear()
         self._live = 0
 
     def _discard_dead(self) -> None:
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).queue = None
 
     def snapshot(self) -> List[Any]:
         """Return (time, label) for each live event, soonest first.

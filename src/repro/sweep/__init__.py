@@ -1,0 +1,53 @@
+"""Parallel scenario sweep engine: process-pool fault campaigns.
+
+The paper's evaluation is built from campaigns — grids of scenarios, seeds,
+loss rates and engine configurations run over the same testbed recipe.
+This package turns such a grid into an ordered list of picklable tasks,
+executes them on a serial or process-pool backend, and merges the rows
+back deterministically (see docs/SWEEP.md)::
+
+    from repro.sweep import SweepSpec, run_sweep, run_script_task
+
+    spec = SweepSpec("fig5_matrix", base_seed=7)
+    spec.add_grid(
+        run_script_task,
+        axes={"seed": [1, 2, 3], "medium": ["switch", "hub"]},
+        script=open("scenarios/fig5_tcp_congestion.fsl").read(),
+        workload={"kind": "tcp_bulk", "bytes": 65536},
+    )
+    outcome = run_sweep(spec, backend="parallel", workers=4)
+    assert outcome.passed, outcome.render()
+"""
+
+from .campaigns import (
+    fig7_point_task,
+    fig8_point_task,
+    run_script_task,
+    tcp_variant_task,
+)
+from .runner import BACKENDS, DEFAULT_RETRIES, default_workers, run_sweep
+from .spec import (
+    SweepError,
+    SweepOutcome,
+    SweepResult,
+    SweepSpec,
+    SweepTask,
+    derive_seed,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_RETRIES",
+    "SweepError",
+    "SweepOutcome",
+    "SweepResult",
+    "SweepSpec",
+    "SweepTask",
+    "default_workers",
+    "derive_seed",
+    "fig7_point_task",
+    "fig8_point_task",
+    "run_script_task",
+    "run_sweep",
+    "tcp_variant_task",
+]

@@ -1,0 +1,248 @@
+"""Reusable campaign task functions.
+
+Every function here is module-level (picklable by reference) and follows
+the sweep contract: it receives one :class:`~repro.sweep.spec.SweepTask`,
+builds a **fresh** seeded testbed from the task's params, runs exactly one
+simulation, and returns a plain JSON-able payload.  Nothing is shared
+between tasks, so campaigns parallelise trivially and merge
+deterministically.
+
+:func:`run_script_task` is the workhorse: it executes a pre-compiled FSL
+program (shipped from the parent — workers never parse FSL) on a testbed
+reconstructed from the program's own node table, with a declarative
+workload, optional Rether ring, control-plane loss, engine tuning and
+cost-model overrides.  The ``repro sweep`` CLI, the fault-matrix example,
+the regression suite and the differential tests all run through it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping
+
+from ..bench.harness import RECEIVER_PORT, SENDER_PORT
+from ..core.engine import EngineConfig
+from ..core.tables import CompiledProgram
+from ..core.testbed import Testbed
+from ..sim import ms, seconds
+from ..stack.costs import CostModel
+from .spec import SweepError, SweepTask
+
+
+def _cost_model(overrides: Mapping[str, int]) -> CostModel:
+    """A CostModel with the given field overrides applied."""
+    base = CostModel()
+    unknown = set(overrides) - {f.name for f in dataclasses.fields(CostModel)}
+    if unknown:
+        raise SweepError(f"unknown cost-model fields: {sorted(unknown)}")
+    return dataclasses.replace(base, **overrides)
+
+
+def _require_program(task: SweepTask) -> CompiledProgram:
+    program = task.param("program")
+    if not isinstance(program, CompiledProgram):
+        raise SweepError(
+            f"task {task.name!r} needs a compiled program "
+            f"(pass script=... so the spec compiles it in the parent)"
+        )
+    return program
+
+
+def _install_workload(tb: Testbed, hosts: List, spec: Mapping[str, Any]):
+    """Build the workload callable described by *spec*.
+
+    Kinds:
+
+    * ``tcp_bulk`` — one connection, first host to the receiver, sending
+      ``bytes`` once established (the Fig 5 shape);
+    * ``tcp_feed`` — same connection, then a steady ``chunk`` every
+      ``interval_ns`` forever (the Rether real-time flow);
+    * ``udp_probes`` — every non-sender host binds ``port``; the first
+      host sends ``count`` paced datagrams to the receiver (the
+      control-plane ablation shape);
+    * ``none`` — scenario runs with no driven traffic.
+    """
+    kind = spec.get("kind", "tcp_bulk")
+    sender = tb.host(spec.get("sender", hosts[0].name))
+    receiver = tb.host(spec.get("receiver", hosts[-1].name))
+    if kind == "none":
+        return None
+    if kind == "tcp_bulk":
+        transfer = int(spec.get("bytes", 64 * 1024))
+
+        def tcp_bulk() -> None:
+            receiver.tcp.listen(RECEIVER_PORT)
+            conn = sender.tcp.connect(
+                receiver.ip, RECEIVER_PORT, local_port=SENDER_PORT
+            )
+            conn.on_established = lambda: conn.send(bytes(transfer))
+
+        return tcp_bulk
+    if kind == "tcp_feed":
+        chunk = int(spec.get("chunk", 1024))
+        interval_ns = int(spec.get("interval_ns", 2_000_000))
+
+        def tcp_feed() -> None:
+            receiver.tcp.listen(RECEIVER_PORT)
+            conn = sender.tcp.connect(
+                receiver.ip, RECEIVER_PORT, local_port=SENDER_PORT
+            )
+
+            def feed() -> None:
+                conn.send(bytes(chunk))
+                tb.sim.after(interval_ns, feed)
+
+            conn.on_established = feed
+
+        return tcp_feed
+    if kind == "udp_probes":
+        count = int(spec.get("count", 50))
+        interval_ns = int(spec.get("interval_ns", ms(1)))
+        port = int(spec.get("port", 7))
+        size = int(spec.get("bytes", 30))
+
+        def udp_probes() -> None:
+            for host in hosts:
+                if host is not sender:
+                    host.udp.bind(port)
+            socket = sender.udp.bind(0)
+            for i in range(count):
+                tb.sim.after(
+                    (i + 1) * interval_ns,
+                    lambda: socket.sendto(bytes(size), receiver.ip, port),
+                )
+
+        return udp_probes
+    raise SweepError(f"unknown workload kind {kind!r}")
+
+
+def run_script_task(task: SweepTask) -> Dict[str, Any]:
+    """Run one pre-compiled FSL program on a freshly built testbed.
+
+    The topology is reconstructed from the program's node table (names and
+    addresses exactly as the script declares them), every host on one
+    medium, VirtualWire on all of them.  Returns the scenario report
+    summary plus the effective seed.
+    """
+    program = _require_program(task)
+    seed = int(task.param("seed", task.seed))
+    costs = _cost_model(task.param("costs", {}))
+    tb = Testbed(seed=seed, costs=costs)
+    hosts = [
+        tb.add_host(entry.name, mac=str(entry.mac), ip=str(entry.ip))
+        for entry in program.nodes.entries
+    ]
+    medium = task.param("medium", "switch")
+    factory = {
+        "switch": tb.add_switch,
+        "hub": tb.add_hub,
+        "bus": tb.add_bus,
+        "link": tb.add_link,
+    }.get(medium)
+    if factory is None:
+        raise SweepError(f"unknown medium {medium!r}")
+    factory("m0", **task.param("medium_kwargs", {}))
+    tb.connect("m0", *hosts)
+    classifier = task.param("classifier")
+    tb.install_virtualwire(
+        control=task.param("control", hosts[0].name),
+        rll=bool(task.param("rll", False)),
+        engine_config=EngineConfig(classifier=classifier) if classifier else None,
+    )
+    for node, rate in sorted(dict(task.param("control_loss", {})).items()):
+        tb.add_control_loss(node, float(rate))
+    if task.param("rether", False):
+        from ..rether import install_rether
+
+        install_rether(hosts, **task.param("rether_kwargs", {}))
+    workload = _install_workload(tb, hosts, task.param("workload", {}))
+    report = tb.run_scenario(
+        program,
+        workload=workload,
+        max_time=int(task.param("max_time_ns", seconds(60))),
+        inactivity_ns=task.param("inactivity_ns"),
+    )
+    payload = report.summary()
+    payload["seed"] = seed
+    return payload
+
+
+def tcp_variant_task(task: SweepTask) -> Dict[str, Any]:
+    """Run a pre-compiled script against one TCP congestion-control
+    variant — the script-reuse regression suite's cell.
+
+    Params: ``variant`` (a :data:`repro.tcp.VARIANTS` key), ``program``
+    (the unchanged Fig 5 script), optional ``bytes``/``seed``.
+    """
+    from ..tcp import VARIANTS
+
+    program = _require_program(task)
+    variant_name = task.param("variant")
+    if variant_name not in VARIANTS:
+        raise SweepError(f"unknown TCP variant {variant_name!r}")
+    variant = VARIANTS[variant_name]
+    seed = int(task.param("seed", task.seed))
+    transfer = int(task.param("bytes", 64 * 1024))
+    tb = Testbed(seed=seed)
+    node1 = tb.add_host("node1")
+    node2 = tb.add_host("node2")
+    tb.add_switch("sw0")
+    tb.connect("sw0", node1, node2)
+    tb.install_virtualwire(control="node1")
+
+    def workload() -> None:
+        node2.tcp.listen(RECEIVER_PORT)
+        conn = node1.tcp.connect(
+            node2.ip, RECEIVER_PORT, local_port=SENDER_PORT, congestion=variant()
+        )
+        conn.on_established = lambda: conn.send(bytes(transfer))
+
+    report = tb.run_scenario(
+        program,
+        workload=workload,
+        max_time=int(task.param("max_time_ns", seconds(60))),
+    )
+    payload = report.summary()
+    payload["variant"] = variant_name
+    payload["flagged"] = bool(report.errors)
+    return payload
+
+
+def fig7_point_task(task: SweepTask) -> Dict[str, Any]:
+    """One Fig 7 cell: goodput at one offered rate (see repro.bench.fig7)."""
+    from ..bench.fig7 import measure_point
+
+    point = measure_point(
+        float(task.param("offered_mbps")),
+        bool(task.param("with_virtualwire")),
+        duration_ns=int(task.param("duration_ns")),
+        seed=int(task.param("seed", 0)),
+        program=task.param("program"),
+    )
+    return {
+        "offered_mbps": point.offered_mbps,
+        "with_virtualwire": point.with_virtualwire,
+        "goodput_mbps": point.goodput_mbps,
+        "retransmissions": point.retransmissions,
+    }
+
+
+def fig8_point_task(task: SweepTask) -> Dict[str, Any]:
+    """One Fig 8 cell: mean echo RTT for (mode, n_filters)."""
+    from ..bench.fig8 import measure_point
+
+    point = measure_point(
+        task.param("mode"),
+        int(task.param("n_filters")),
+        float(task.param("baseline_rtt_ns")),
+        probes=int(task.param("probes", 50)),
+        payload=int(task.param("payload", 1000)),
+        seed=int(task.param("seed", 0)),
+        program=task.param("program"),
+    )
+    return {
+        "mode": point.mode,
+        "n_filters": point.n_filters,
+        "mean_rtt_ns": point.mean_rtt_ns,
+        "baseline_rtt_ns": point.baseline_rtt_ns,
+    }

@@ -1,0 +1,184 @@
+"""Campaign execution backends: serial reference and process pool.
+
+``backend="serial"`` runs every task in the calling process, in task
+order — the reference implementation the differential test compares
+against.  ``backend="parallel"`` fans tasks out over a
+:class:`concurrent.futures.ProcessPoolExecutor`; because each task is an
+independent seeded simulation, the merged rows are byte-identical to the
+serial backend's (asserted in ``tests/sweep/test_runner.py``).
+
+Crash policy: a Python exception inside a task is caught **in the worker**
+and becomes a deterministic ``FAILED`` row (same row either backend).  A
+worker process that *dies* (hard crash, ``os._exit``) breaks the pool;
+every task still in flight is retried — once, each in its own fresh
+single-worker pool so one poisoned task cannot re-kill its neighbours —
+and a task that dies again is recorded as ``FAILED`` with the crash note
+instead of sinking the campaign.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional
+
+from .spec import (
+    SweepError,
+    SweepOutcome,
+    SweepResult,
+    SweepTask,
+    coerce_jsonable,
+    spec_meta,
+    tasks_of,
+)
+
+#: Bounded retry budget for pool-breaking worker deaths.
+DEFAULT_RETRIES = 1
+
+
+def default_workers() -> int:
+    """Worker-count default: every core up to 4 (campaigns are CPU-bound)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits compiled programs' modules); fall
+    back to the platform default where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def execute_task(task: SweepTask) -> SweepResult:
+    """Run one task to a result row.  Never raises: exceptions become
+    deterministic ``FAILED`` rows (identical under either backend)."""
+    started = time.perf_counter()
+    try:
+        payload = task.fn(task)
+        if payload is None:
+            payload = {}
+        payload = coerce_jsonable(dict(payload))
+        status, error, detail = SweepResult.OK, "", ""
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        payload = {}
+        status = SweepResult.FAILED
+        error = f"{type(exc).__name__}: {exc}"
+        detail = traceback.format_exc()
+    return SweepResult(
+        index=task.index,
+        name=task.name,
+        seed=task.seed,
+        status=status,
+        payload=payload,
+        error=error,
+        error_detail=detail,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _crash_row(task: SweepTask, exc: BaseException, attempts: int) -> SweepResult:
+    return SweepResult(
+        index=task.index,
+        name=task.name,
+        seed=task.seed,
+        status=SweepResult.FAILED,
+        error=f"worker died: {type(exc).__name__}",
+        error_detail=(
+            f"worker process executing task {task.index} ({task.name!r}) "
+            f"died after {attempts} attempt(s): {exc!r}"
+        ),
+        attempts=attempts,
+    )
+
+
+def _run_serial(tasks: List[SweepTask], workers: int, retries: int) -> List[SweepResult]:
+    return [execute_task(task) for task in tasks]
+
+
+def _run_parallel(
+    tasks: List[SweepTask], workers: int, retries: int
+) -> List[SweepResult]:
+    rows: Dict[int, SweepResult] = {}
+    casualties: List[tuple] = []  # (task, exc) pairs from a broken pool
+    ctx = _pool_context()
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        futures = {pool.submit(execute_task, task): task for task in tasks}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task = futures[future]
+                try:
+                    row = future.result()
+                except BaseException as exc:  # worker death broke the pool
+                    casualties.append((task, exc))
+                else:
+                    rows[task.index] = row
+    # Bounded retry, one task per fresh single-worker pool: the genuine
+    # crasher dies alone; innocent casualties of the shared pool complete.
+    for task, first_exc in sorted(casualties, key=lambda pair: pair[0].index):
+        attempts = 1
+        row: Optional[SweepResult] = None
+        while attempts <= retries:
+            attempts += 1
+            try:
+                with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as solo:
+                    row = solo.submit(execute_task, task).result()
+                break
+            except BaseException as exc:  # noqa: BLE001
+                first_exc = exc
+        if row is None:
+            row = _crash_row(task, first_exc, attempts)
+        else:
+            row.attempts = attempts
+        rows[task.index] = row
+    return [rows[task.index] for task in tasks]
+
+
+BACKENDS = {
+    "serial": _run_serial,
+    "parallel": _run_parallel,
+}
+
+
+def run_sweep(
+    spec_or_tasks: Any,
+    backend: str = "parallel",
+    workers: Optional[int] = None,
+    retries: int = DEFAULT_RETRIES,
+) -> SweepOutcome:
+    """Execute a campaign and merge its rows deterministically.
+
+    *spec_or_tasks* is a :class:`SweepSpec` (compiled to tasks here, in the
+    parent) or a prepared task list.  Rows always come back in task order;
+    with healthy tasks the merged outcome's :meth:`canonical_bytes` is
+    identical across backends, worker counts and completion orders.
+    """
+    try:
+        run = BACKENDS[backend]
+    except KeyError:
+        raise SweepError(
+            f"unknown sweep backend {backend!r} (expected one of {sorted(BACKENDS)})"
+        ) from None
+    tasks = tasks_of(spec_or_tasks)
+    if backend == "serial":
+        effective_workers = 1
+    else:
+        effective_workers = default_workers() if workers is None else workers
+    if effective_workers < 1:
+        raise SweepError(f"workers must be >= 1, got {effective_workers}")
+    meta = spec_meta(spec_or_tasks)
+    started = time.perf_counter()
+    rows = run(tasks, effective_workers, retries)
+    return SweepOutcome(
+        spec_name=meta["name"],
+        base_seed=meta["base_seed"],
+        backend=backend,
+        workers=effective_workers,
+        rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,347 @@
+"""Declarative sweep campaigns: grids of independent simulations.
+
+The paper's evaluation — and every figure this repo regenerates — is a
+*campaign*: the same testbed recipe executed across a grid of filter-table
+sizes, offered loads, loss rates, seeds and scenario scripts.  A
+:class:`SweepSpec` enumerates that grid into an ordered list of picklable
+:class:`SweepTask` s; :func:`repro.sweep.run_sweep` executes them on a
+serial or process-pool backend and merges the per-task
+:class:`SweepResult` rows back **in task order**, so the merged campaign is
+bit-for-bit identical no matter how many workers ran it or in what order
+they finished.
+
+Determinism contract (docs/SWEEP.md):
+
+* every task carries ``task.seed = derive_seed(base_seed, task.index)`` —
+  a splitmix64 mix, stable across processes and Python versions;
+* FSL scripts named in case params (``script=``/``scenario=``) are compiled
+  **once in the parent** through :meth:`repro.core.testbed.Testbed.
+  compile_cached` and the resulting :class:`CompiledProgram` — including
+  its classification index — is shipped to workers, never re-parsed;
+* task functions must return plain JSON-able payloads (the runner coerces
+  tuples and enums, and rejects anything it cannot make deterministic).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..errors import ReproError
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-task seed: splitmix64 of ``(base_seed, index)``.
+
+    Pure integer arithmetic — no :mod:`random`, no hashing of strings — so
+    the value is identical in every worker process, Python build and
+    insertion order.  Returned in ``[0, 2**31)`` to stay friendly to any
+    seed consumer.
+    """
+    x = (base_seed * 0x9E3779B97F4A7C15 + (index + 1) * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x % (1 << 31)
+
+
+class SweepError(ReproError):
+    """A campaign was mis-specified (not a task failure — those become
+    ``FAILED`` rows, never exceptions)."""
+
+
+#: A task function: module-level (hence picklable by reference), takes the
+#: task and returns a plain JSON-able mapping.
+TaskFn = Callable[["SweepTask"], Mapping[str, Any]]
+
+
+@dataclass
+class SweepTask:
+    """One cell of the campaign grid, ready to execute in any process."""
+
+    index: int
+    name: str
+    #: derived from (base_seed, index); the default simulator seed for the
+    #: task.  Grid axes may additionally carry an explicit ``seed`` param.
+    seed: int
+    fn: TaskFn
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+
+@dataclass
+class SweepResult:
+    """One merged campaign row.
+
+    ``payload`` (and every field except the wall-clock/attempt accounting)
+    is covered by :meth:`canonical`, the byte-identity surface of the
+    differential serial-vs-parallel guarantee.  ``wall_seconds`` and
+    ``attempts`` are real-world accounting and excluded.
+    """
+
+    OK = "OK"
+    FAILED = "FAILED"
+
+    index: int
+    name: str
+    seed: int
+    status: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    #: ``ExcType: message`` for FAILED rows (deterministic, canonical).
+    error: str = ""
+    #: full traceback / crash note (non-canonical: may differ by backend).
+    error_detail: str = ""
+    attempts: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == self.OK
+
+    @property
+    def virtual_ns(self) -> int:
+        """The task's virtual-time cost, when its payload reports one."""
+        value = self.payload.get("duration_ns", 0)
+        return value if isinstance(value, int) else 0
+
+    def canonical(self) -> Dict[str, Any]:
+        """The deterministic projection used for merged-result identity."""
+        return {
+            "index": self.index,
+            "name": self.name,
+            "seed": self.seed,
+            "status": self.status,
+            "payload": self.payload,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SweepOutcome:
+    """The merged campaign: rows in task order plus campaign accounting."""
+
+    spec_name: str
+    base_seed: int
+    backend: str
+    workers: int
+    rows: List[SweepResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def failures(self) -> List[SweepResult]:
+        return [
+            row
+            for row in self.rows
+            if not row.ok or row.payload.get("passed") is False
+        ]
+
+    @property
+    def passed(self) -> bool:
+        """Every row completed, and no scenario payload reported failure."""
+        return not self.failures
+
+    @property
+    def total_task_wall_seconds(self) -> float:
+        return sum(row.wall_seconds for row in self.rows)
+
+    @property
+    def total_virtual_ns(self) -> int:
+        return sum(row.virtual_ns for row in self.rows)
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical JSON of all rows — the differential-test identity."""
+        return json.dumps(
+            [row.canonical() for row in self.rows],
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    def row(self, name: str) -> SweepResult:
+        for candidate in self.rows:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    def render(self) -> str:
+        """Human-readable campaign table (one line per task + totals)."""
+        from ..sim import format_time  # local: avoid import at module load
+
+        lines = []
+        for row in self.rows:
+            if row.ok:
+                verdict = row.payload.get("passed")
+                detail = (
+                    "PASS" if verdict else "FAIL" if verdict is False else "done"
+                )
+                extra = row.payload.get("end_reason", "")
+                if extra:
+                    detail += f" ({extra})"
+            else:
+                detail = f"FAILED ({row.error})"
+            lines.append(
+                f"[{row.index:>3}] {row.name:<36} {detail:<28} "
+                f"{format_time(row.virtual_ns):>12} virtual  "
+                f"{row.wall_seconds:>7.2f}s wall  x{row.attempts}"
+            )
+        verdict = "ALL OK" if self.passed else f"{len(self.failures)} FAILED"
+        lines.append(
+            f"{'-' * 40} {verdict}: {len(self.rows)} tasks, "
+            f"{self.backend}({self.workers}w), "
+            f"campaign {self.wall_seconds:.2f}s wall "
+            f"(task sum {self.total_task_wall_seconds:.2f}s, "
+            f"{format_time(self.total_virtual_ns)} virtual)"
+        )
+        return "\n".join(lines)
+
+
+class SweepSpec:
+    """An ordered campaign description.
+
+    Cases are added one at a time (:meth:`add`) or as a Cartesian grid
+    (:meth:`add_grid`); :meth:`tasks` freezes them into
+    :class:`SweepTask` s, deriving seeds and compiling any ``script``
+    params into shipped :class:`CompiledProgram` s.
+    """
+
+    def __init__(self, name: str, base_seed: int = 0) -> None:
+        self.name = name
+        self.base_seed = base_seed
+        self._cases: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    def add(self, name: str, fn: TaskFn, **params: Any) -> "SweepSpec":
+        """Append one case; returns self for chaining."""
+        if not callable(fn):
+            raise SweepError(f"case {name!r}: fn must be callable")
+        if getattr(fn, "__name__", "<lambda>") == "<lambda>":
+            raise SweepError(
+                f"case {name!r}: task functions must be module-level "
+                f"(picklable by reference), not lambdas"
+            )
+        self._cases.append({"name": name, "fn": fn, "params": dict(params)})
+        return self
+
+    def add_grid(
+        self,
+        fn: TaskFn,
+        axes: Mapping[str, Sequence[Any]],
+        name: Optional[Callable[[Mapping[str, Any]], str]] = None,
+        **fixed: Any,
+    ) -> "SweepSpec":
+        """Append the Cartesian product of *axes* (insertion-order major).
+
+        *name* builds each case's display name from its axis point; the
+        default joins ``key=value`` pairs.  *fixed* params are shared by
+        every generated case.
+        """
+        import itertools
+
+        keys = list(axes.keys())
+        for values in itertools.product(*(axes[k] for k in keys)):
+            point = dict(zip(keys, values))
+            label = (
+                name(point)
+                if name is not None
+                else ",".join(f"{k}={v}" for k, v in point.items())
+            )
+            self.add(label, fn, **{**fixed, **point})
+        return self
+
+    def tasks(self) -> List[SweepTask]:
+        """Freeze the spec into ordered, picklable tasks.
+
+        Any case param pair ``script=<fsl text>`` (plus optional
+        ``scenario=<name>``) is replaced by ``program=<CompiledProgram>``,
+        compiled here — once per distinct source text, via the testbed's
+        shared compile cache — so workers never re-parse FSL.
+        """
+        from ..core.testbed import Testbed  # local: sweep must stay importable early
+
+        tasks: List[SweepTask] = []
+        for index, case in enumerate(self._cases):
+            params = dict(case["params"])
+            script = params.pop("script", None)
+            if script is not None:
+                scenario = params.pop("scenario", None)
+                if "program" in params:
+                    raise SweepError(
+                        f"case {case['name']!r}: give script= or program=, not both"
+                    )
+                params["program"] = Testbed.compile_cached(script, scenario)
+            tasks.append(
+                SweepTask(
+                    index=index,
+                    name=case["name"],
+                    seed=derive_seed(self.base_seed, index),
+                    fn=case["fn"],
+                    params=params,
+                )
+            )
+        return tasks
+
+
+def coerce_jsonable(value: Any, path: str = "payload") -> Any:
+    """Normalise a task payload into canonical-JSON-able builtins.
+
+    Tuples become lists, enums their values; anything else non-builtin is
+    rejected so nondeterministic reprs can never leak into the canonical
+    merge.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, enum.Enum):
+        return coerce_jsonable(value.value, path)
+    if isinstance(value, (list, tuple)):
+        return [coerce_jsonable(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SweepError(f"{path}: non-string mapping key {key!r}")
+            out[key] = coerce_jsonable(item, f"{path}.{key}")
+        return out
+    raise SweepError(
+        f"{path}: task payloads must be JSON-able builtins, got "
+        f"{type(value).__name__}"
+    )
+
+
+def tasks_of(spec_or_tasks: Any) -> List[SweepTask]:
+    """Accept a :class:`SweepSpec` or an explicit task list."""
+    if isinstance(spec_or_tasks, SweepSpec):
+        return spec_or_tasks.tasks()
+    tasks = list(spec_or_tasks)
+    for task in tasks:
+        if not isinstance(task, SweepTask):
+            raise SweepError(f"expected SweepTask, got {type(task).__name__}")
+    return tasks
+
+
+def spec_meta(spec_or_tasks: Any) -> Dict[str, Any]:
+    """(name, base_seed) of a spec, with fallbacks for raw task lists."""
+    if isinstance(spec_or_tasks, SweepSpec):
+        return {"name": spec_or_tasks.name, "base_seed": spec_or_tasks.base_seed}
+    return {"name": "tasks", "base_seed": 0}
+
+
+__all__: Iterable[str] = [
+    "SweepError",
+    "SweepOutcome",
+    "SweepResult",
+    "SweepSpec",
+    "SweepTask",
+    "coerce_jsonable",
+    "derive_seed",
+]

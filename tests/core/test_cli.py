@@ -164,3 +164,43 @@ END
         code, text = run_cli("check", str(multi), "--scenario", "second")
         assert code == 0
         assert "second" in text
+
+
+class TestSweep:
+    def test_campaign_over_seeds(self, fig5_path):
+        code, text = run_cli(
+            "sweep", fig5_path, "--seeds", "0,1", "--backend", "serial"
+        )
+        assert code == 0
+        assert "seed=0,medium=switch" in text
+        assert "seed=1,medium=switch" in text
+        assert "ALL OK: 2 tasks" in text
+
+    def test_json_rows_are_canonical(self, fig5_path):
+        import json
+
+        code, text = run_cli(
+            "sweep", fig5_path, "--seeds", "0", "--backend", "serial", "--json"
+        )
+        assert code == 0
+        rows = json.loads(text)
+        assert len(rows) == 1
+        assert rows[0]["status"] == "OK"
+        assert rows[0]["payload"]["passed"] is True
+        assert set(rows[0]) == {"index", "name", "seed", "status", "payload", "error"}
+
+    def test_failing_campaign_exits_nonzero(self, fig6_path):
+        # no Rether ring, no traffic: fig6's STOP never fires -> FAIL
+        code, text = run_cli(
+            "sweep", fig6_path, "--backend", "serial",
+            "--workload", "none", "--max-time", "2",
+        )
+        assert code == 1
+        assert "FAIL" in text
+
+    def test_bad_medium_reported(self, fig5_path):
+        code, text = run_cli(
+            "sweep", fig5_path, "--backend", "serial", "--media", "warp"
+        )
+        assert code == 1  # the row fails; the campaign reports it
+        assert "unknown medium" in text

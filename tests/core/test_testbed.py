@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.core.report import EndReason
 from repro.core.testbed import Testbed
 from repro.errors import ScenarioError, TopologyError
+from repro.scripts import canonical_node_table, tcp_congestion_script
 from repro.sim import ms, seconds
 
 
@@ -146,3 +148,94 @@ END
         tb = Testbed()
         tb.run_for(ms(5))
         assert tb.sim.now == ms(5)
+
+
+def _two_node_vw_testbed():
+    tb = Testbed(seed=0)
+    node1 = tb.add_host("node1")
+    node2 = tb.add_host("node2")
+    tb.add_switch("sw0")
+    tb.connect("sw0", node1, node2)
+    tb.install_virtualwire(control="node1")
+    return tb
+
+
+class TestRunScenarioGuards:
+    """The run loop's three exit guards, exercised one by one."""
+
+    def test_max_events_exhaustion_ends_as_max_time(self):
+        """An event budget too small for even the INIT handshake trips the
+        runaway guard: the run is force-finished as MAX_TIME."""
+        tb = _two_node_vw_testbed()
+        script = tcp_congestion_script(tb.node_table_fsl())
+        report = tb.run_scenario(script, max_time=seconds(60), max_events=3)
+        assert report.end_reason is EndReason.MAX_TIME
+
+    def test_empty_queue_before_start_is_quiesced(self, monkeypatch):
+        """If the scheduler drains before the engines ever started, the
+        verdict is QUIESCED — the scenario never got going."""
+        tb = _two_node_vw_testbed()
+        frontend = tb.frontend
+
+        def inert_start(program, on_running=None, inactivity_ns=None):
+            frontend.program = program  # accepted, but nothing scheduled
+
+        monkeypatch.setattr(frontend, "start_scenario", inert_start)
+        script = tcp_congestion_script(tb.node_table_fsl())
+        report = tb.run_scenario(script, max_time=seconds(60))
+        assert report.end_reason is EndReason.QUIESCED
+
+    def test_empty_queue_after_start_is_inactivity(self, monkeypatch):
+        """The same drained queue *after* START is the limiting case of
+        inactivity, not quiescence."""
+        tb = _two_node_vw_testbed()
+        frontend = tb.frontend
+
+        def started_but_idle(program, on_running=None, inactivity_ns=None):
+            frontend.program = program
+            frontend.started = True
+
+        monkeypatch.setattr(frontend, "start_scenario", started_but_idle)
+        script = tcp_congestion_script(tb.node_table_fsl())
+        report = tb.run_scenario(script, max_time=seconds(60))
+        assert report.end_reason is EndReason.INACTIVITY
+
+
+class TestCompileCache:
+    def _unique_script(self, tag: str) -> str:
+        return (
+            tcp_congestion_script(canonical_node_table(2))
+            + f"\n/* cache-buster {tag} */"
+        )
+
+    def test_same_text_compiles_once(self):
+        script = self._unique_script("same")
+        first = Testbed.compile_cached(script)
+        assert Testbed.compile_cached(script) is first
+
+    def test_scenario_name_is_part_of_the_key(self):
+        script = self._unique_script("scenario-key")
+        default = Testbed.compile_cached(script)
+        named = Testbed.compile_cached(script, "TCP_SS_CA_algo")
+        assert named is not default  # distinct key, even if same scenario
+        assert named.scenario_name == default.scenario_name
+
+    def test_run_scenario_uses_the_cache(self):
+        script = self._unique_script("run-path")
+        program = Testbed.compile_cached(script)
+        tb = _two_node_vw_testbed()
+        report = tb.run_scenario(
+            script, workload=None, max_time=seconds(1), inactivity_ns=ms(50)
+        )
+        assert report is not None
+        # the run compiled nothing new: the cached entry is still the MRU
+        assert Testbed.compile_cached(script) is program
+
+    def test_cache_is_bounded_lru(self):
+        base = len(Testbed._compile_cache)
+        victim = self._unique_script("victim")
+        Testbed.compile_cached(victim)
+        for i in range(Testbed._COMPILE_CACHE_MAX + 4):
+            Testbed.compile_cached(self._unique_script(f"filler-{base}-{i}"))
+        assert len(Testbed._compile_cache) <= Testbed._COMPILE_CACHE_MAX
+        assert (victim, None) not in Testbed._compile_cache

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchedulingError
-from repro.sim.events import EventQueue
+from repro.sim.events import COMPACT_MIN_DEAD, EventQueue
 
 
 class TestOrdering:
@@ -92,3 +92,67 @@ class TestHousekeeping:
         b = q.push(20, lambda: None, "b")
         q.cancel(b)
         assert q.snapshot() == [(10, "a"), (30, "c")]
+
+
+class TestCompaction:
+    """Mass cancellation must not leave the heap full of dead entries."""
+
+    def test_mass_cancellation_compacts_heap(self):
+        q = EventQueue()
+        handles = [q.push(t, lambda: None) for t in range(4000)]
+        # Cancel all but every 8th event — the RTO-timer churn pattern.
+        survivors = []
+        for i, handle in enumerate(handles):
+            if i % 8:
+                handle.cancel()
+            else:
+                survivors.append(handle)
+        assert len(q) == len(survivors)
+        # Dead entries beyond the floor and >50% of the heap are swept.
+        assert q.heap_size - len(q) <= COMPACT_MIN_DEAD
+        assert q.heap_size < len(handles) // 2
+
+    def test_small_queues_stay_lazy(self):
+        q = EventQueue()
+        handles = [q.push(t, lambda: None) for t in range(100)]
+        for handle in handles[:-1]:
+            handle.cancel()
+        # Below the floor nothing compacts: lazy discard is cheaper.
+        assert q.heap_size == 100
+        assert len(q) == 1
+
+    def test_firing_order_preserved_across_compaction(self):
+        q = EventQueue()
+        fired = []
+        keep = []
+        for t in range(3000):
+            handle = q.push(t // 3, lambda t=t: fired.append(t))
+            if t % 2:
+                keep.append(t)
+            else:
+                handle.cancel()
+        while q:
+            q.pop().callback()
+        assert fired == keep  # (when, seq) order survives the heapify
+
+    def test_direct_handle_cancel_updates_live_count(self):
+        """TCP timers cancel through the handle, not the queue: the live
+        count (and thus ``while queue:`` loops) must stay exact."""
+        q = EventQueue()
+        a = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        a.cancel()
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+        assert not q
+
+    def test_cancel_after_fire_is_a_noop(self):
+        q = EventQueue()
+        handle = q.push(1, lambda: None)
+        popped = q.pop()
+        assert popped is handle
+        handle.callback = None  # the simulator consumes it on step()
+        handle.cancel()
+        assert not handle.cancelled  # never marked: there was nothing to undo
+        assert len(q) == 0

@@ -1,0 +1,170 @@
+"""Backend tests: the serial/parallel differential and crash isolation."""
+
+import os
+
+import pytest
+
+from repro.scripts import (
+    canonical_node_table,
+    rether_failover_script,
+    tcp_congestion_script,
+)
+from repro.sweep import SweepError, SweepSpec, run_script_task, run_sweep
+
+
+def _ok_task(task):
+    return {"index": task.index, "seed": task.seed}
+
+
+def _raising_task(task):
+    raise ValueError(f"boom in {task.name}")
+
+
+def _dying_task(task):
+    os._exit(13)  # hard worker death: no exception, no cleanup
+
+
+def mixed_campaign() -> SweepSpec:
+    """The acceptance campaign: >= 12 tasks mixing the fig5 and fig6
+    scenarios, several seeds and control-loss rates."""
+    fig5 = tcp_congestion_script(canonical_node_table(2))
+    fig6 = rether_failover_script(canonical_node_table(4))
+    spec = SweepSpec("differential", base_seed=11)
+    for seed in (0, 1, 2, 3):
+        for loss in (0.0, 0.1):
+            spec.add(
+                f"fig5/s{seed}/l{loss:g}",
+                run_script_task,
+                script=fig5,
+                seed=seed,
+                control_loss={"node2": loss} if loss else {},
+                workload={"kind": "tcp_bulk", "bytes": 32 * 1024},
+            )
+    spec.add("fig5/hub", run_script_task, script=fig5, medium="hub",
+             workload={"kind": "tcp_bulk", "bytes": 32 * 1024})
+    spec.add("fig5/derived-seed", run_script_task, script=fig5,
+             workload={"kind": "tcp_bulk", "bytes": 32 * 1024})
+    for seed in (5, 6):
+        spec.add(
+            f"fig6/s{seed}",
+            run_script_task,
+            script=fig6,
+            seed=seed,
+            medium="bus",
+            rether=True,
+            workload={"kind": "tcp_feed"},
+            max_time_ns=30_000_000_000,
+        )
+    return spec
+
+
+class TestDifferential:
+    def test_serial_and_parallel_merge_byte_identical(self):
+        """The tentpole guarantee: a >=12-task campaign mixing scenarios,
+        seeds and loss rates merges to byte-identical rows on the serial
+        reference backend and on a >=2-worker process pool."""
+        spec = mixed_campaign()
+        assert len(spec) >= 12
+        serial = run_sweep(spec, backend="serial")
+        parallel = run_sweep(spec, backend="parallel", workers=2)
+        assert serial.backend == "serial" and serial.workers == 1
+        assert parallel.workers == 2
+        assert all(row.ok for row in serial.rows), serial.render()
+        assert serial.canonical_bytes() == parallel.canonical_bytes()
+
+    def test_rows_merge_in_task_order(self):
+        spec = SweepSpec("order", base_seed=3)
+        for i in range(8):
+            spec.add(f"t{i}", _ok_task)
+        outcome = run_sweep(spec, backend="parallel", workers=2)
+        assert [row.name for row in outcome.rows] == [f"t{i}" for i in range(8)]
+        assert [row.payload["index"] for row in outcome.rows] == list(range(8))
+
+    def test_derived_seed_reaches_the_task(self):
+        spec = SweepSpec("seeds", base_seed=21).add("a", _ok_task)
+        outcome = run_sweep(spec, backend="serial")
+        assert outcome.rows[0].payload["seed"] == outcome.rows[0].seed
+
+
+class TestFailureRows:
+    def test_exception_becomes_deterministic_failed_row(self):
+        spec = SweepSpec("fail").add("bad", _raising_task).add("good", _ok_task)
+        serial = run_sweep(spec, backend="serial")
+        parallel = run_sweep(spec, backend="parallel", workers=2)
+        bad = serial.rows[0]
+        assert not bad.ok
+        assert bad.error == "ValueError: boom in bad"
+        assert "Traceback" in bad.error_detail
+        assert serial.rows[1].ok
+        assert serial.canonical_bytes() == parallel.canonical_bytes()
+        assert not serial.passed and serial.failures == [bad]
+
+    def test_failed_scenario_payload_counts_as_failure(self):
+        """A task that *runs* but whose scenario verdict is FAIL still
+        produces an OK row — campaign health is `outcome.passed`."""
+        # fig6 expects its STOP rule to fire; without the Rether ring there
+        # is no token traffic, so the scenario verdict is FAIL.
+        fig6 = rether_failover_script(canonical_node_table(4))
+        spec = SweepSpec("verdict").add(
+            "tokenless", run_script_task, script=fig6, workload={"kind": "none"},
+            max_time_ns=2_000_000_000,
+        )
+        outcome = run_sweep(spec, backend="serial")
+        row = outcome.rows[0]
+        assert row.ok  # the simulation itself completed
+        assert row.payload["passed"] is False  # STOP never fired
+        assert not outcome.passed
+
+
+class TestCrashIsolation:
+    def test_dead_worker_becomes_failed_row(self):
+        """A worker hard-dying (os._exit) poisons the shared pool; the
+        runner retries the casualties one-by-one in fresh solo pools, so
+        the genuine crasher fails alone and every neighbour completes."""
+        spec = SweepSpec("crash")
+        spec.add("ok0", _ok_task)
+        spec.add("dies", _dying_task)
+        spec.add("ok1", _ok_task)
+        spec.add("ok2", _ok_task)
+        outcome = run_sweep(spec, backend="parallel", workers=2)
+        by_name = {row.name: row for row in outcome.rows}
+        assert [row.name for row in outcome.rows] == ["ok0", "dies", "ok1", "ok2"]
+        dead = by_name["dies"]
+        assert not dead.ok
+        assert dead.error.startswith("worker died:")
+        assert dead.attempts == 2  # one bounded retry, then recorded
+        for name in ("ok0", "ok1", "ok2"):
+            assert by_name[name].ok, outcome.render()
+
+    def test_serial_backend_never_forks(self):
+        pid = os.getpid()
+
+        def check(task):  # noqa: ANN001 — local on purpose: serial only
+            return {"pid": os.getpid()}
+
+        # Serial accepts non-picklable task fns: nothing crosses a process.
+        spec = SweepSpec("local")
+        spec.add("here", _ok_task)
+        outcome = run_sweep(spec, backend="serial")
+        assert outcome.rows[0].ok
+        assert os.getpid() == pid
+
+
+class TestRunSweepValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(SweepError, match="unknown sweep backend"):
+            run_sweep(SweepSpec("s"), backend="threads")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(SweepError, match="workers"):
+            run_sweep(SweepSpec("s"), backend="parallel", workers=0)
+
+    def test_task_list_accepted(self):
+        tasks = SweepSpec("s", base_seed=2).add("a", _ok_task).tasks()
+        outcome = run_sweep(tasks, backend="serial")
+        assert outcome.spec_name == "tasks"
+        assert outcome.rows[0].payload["seed"] == tasks[0].seed
+
+    def test_non_task_rejected(self):
+        with pytest.raises(SweepError, match="SweepTask"):
+            run_sweep(["nope"], backend="serial")

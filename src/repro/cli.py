@@ -208,10 +208,16 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
                     medium=medium,
                     control_loss={args.loss_node: rate} if rate else {},
                     rll=args.rll,
+                    rether=args.rether,
                     workload={"kind": args.workload},
                     max_time_ns=int(args.max_time * NS_PER_SEC),
                 )
-    outcome = run_sweep(spec, backend=args.backend, workers=args.workers)
+    outcome = run_sweep(
+        spec,
+        backend=args.backend,
+        workers=args.workers,
+        fail_fast=args.fail_fast,
+    )
     if args.json:
         print(
             json.dumps(
@@ -285,6 +291,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--rll", action="store_true", help="enable the Reliable Link Layer"
+    )
+    sweep.add_argument(
+        "--rether",
+        action="store_true",
+        help="install a Rether token ring over all scenario nodes",
+    )
+    sweep.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop the campaign at the first failed run",
     )
     sweep.add_argument(
         "--backend", default="parallel", choices=("serial", "parallel")

@@ -42,6 +42,14 @@ class ControlType(enum.Enum):
     INIT_NACK = 10
     #: liveness probe from the front-end; the channel-level ACK is the reply.
     HEARTBEAT = 11
+    #: a rebooted node announcing itself to the control node for re-INIT.
+    REGISTER = 12
+    #: control-node broadcast: the named node rebooted — reset the reliable
+    #: channel's per-peer state for it and replay any shared state it needs.
+    NODE_RESET = 13
+    #: a scenario node relaying a scripted RESTART request to the front-end
+    #: (the rule fired away from the control node).
+    RESTART_REPORT = 14
 
 
 #: Message participates in the reliable-delivery protocol: it carries a
@@ -74,6 +82,9 @@ class ControlMessage:
     STOP_REPORT    condition id 0
     ACK            0            0 (acked seq in ``seq``)
     HEARTBEAT      0            0
+    REGISTER       0            0
+    NODE_RESET     node index   0
+    RESTART_REPORT node index   boot delay (ns)
     ========== ================ ================
 
     ``seq`` is the per-(sender, peer) sequence number assigned by the

@@ -112,6 +112,9 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         #: out-of-band activity ping for the inactivity timeout (see
         #: DESIGN.md: orchestration bookkeeping, not protocol traffic).
         self.activity_hook: Optional[Callable[[], None]] = None
+        #: front-end lifecycle notification: called with "crash"/"fail"
+        #: the instant a scripted crash takes this host down.
+        self.lifecycle_hook: Optional[Callable[[str], None]] = None
         #: optional shared audit trail (repro.core.audit.AuditLog).
         self.audit_log = None
         self.stats = EngineStats()
@@ -160,10 +163,56 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         self.enabled = True
         if self.runtime is not None:
             self.runtime.start()
+        if self.host is not None:
+            # After a reboot this releases the layers above (e.g. Rether)
+            # to resume protocol work — tables are armed again first.
+            self.host.on_engine_started()
 
     def disable(self) -> None:
         self.enabled = False
         self._reorder_buffer.flush()
+
+    # ------------------------------------------------------------------
+    # Host crash/reboot lifecycle
+    # ------------------------------------------------------------------
+
+    def on_host_crash(self) -> None:
+        """Crash with amnesia: the engine's entire soft state is lost.
+
+        Tables, runtime, classification index, channel sequencing, held
+        DELAY/REORDER packets and the busy-until clock all vanish — the
+        node reboots into the blank state a real machine would.  The
+        ``control_mac`` survives as the node's boot configuration (how a
+        real deployment would know whom to register with).
+        """
+        self.enabled = False
+        if self.runtime is not None:
+            self.runtime.crashed = True
+        self.runtime = None
+        self.classifier = None
+        self.program = None
+        self.channel.reset()
+        self._delay_queue.wipe()
+        self._reorder_buffer.wipe()
+        self._busy_until = 0
+        self.stats = EngineStats()
+
+    def on_host_reboot(self) -> None:
+        """Boot: come up with blank tables and register with control.
+
+        The engine stays disabled — classification resumes only after the
+        control node re-ships the tables (INIT, CRC-verified) and STARTs
+        us again.
+        """
+        self.channel.reset()
+        if self.control_mac is not None and self.frontend is None:
+            self._send_control(
+                self.control_mac, ControlMessage(ControlType.REGISTER)
+            )
+
+    def on_peer_reboot(self, mac) -> None:
+        """A peer rebooted: its channel sequencing restarts from 1."""
+        self.channel.reset_peer(mac)
 
     # ------------------------------------------------------------------
     # Frame path
@@ -195,9 +244,12 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
             return
         self.stats.packets_classified += 1
         src_node, dst_node = self._endpoints(data)
-        event = self.runtime.on_classified_packet(pkt_type, src_node, dst_node, direction)
+        runtime = self.runtime
+        event = runtime.on_classified_packet(pkt_type, src_node, dst_node, direction)
         if self.activity_hook is not None:
             self.activity_hook()
+        if runtime.crashed:
+            return  # a CRASH rule took this host down processing the packet
         cost += self._event_cost(event)
 
         duplicate = False
@@ -307,6 +359,14 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
     def send_shutdown(self, node_mac, program_id: int) -> None:
         self._send_control(node_mac, ControlMessage(ControlType.SHUTDOWN, program_id))
 
+    def send_node_reset(self, node_mac, node_index: int, on_acked=None) -> None:
+        """Front-end API: tell a peer that node *node_index* rebooted."""
+        self._send_control(
+            node_mac,
+            ControlMessage(ControlType.NODE_RESET, node_index),
+            on_acked=on_acked,
+        )
+
     def send_heartbeat(self, node_mac) -> None:
         """Front-end API: probe a node's liveness through the channel."""
         self.stats.heartbeats_sent += 1
@@ -331,6 +391,9 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
             ControlType.ERROR_REPORT: self._on_error_report,
             ControlType.STOP_REPORT: self._on_stop_report,
             ControlType.HEARTBEAT: self._on_heartbeat,
+            ControlType.REGISTER: self._on_register,
+            ControlType.NODE_RESET: self._on_node_reset,
+            ControlType.RESTART_REPORT: self._on_restart_report,
         }[message.msg_type]
         handler(frame, message)
 
@@ -410,6 +473,34 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
             node = self.program.nodes.by_mac(frame.src) if self.program else None
             self.frontend.record_stop(node.name if node else str(frame.src), message.a)
 
+    def _on_register(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.frontend is not None:
+            self.frontend.on_register(frame.src)
+
+    def _on_node_reset(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.program is None:
+            return
+        if message.a >= len(self.program.nodes.entries):
+            raise ControlPlaneError(
+                f"{self.node_name}: NODE_RESET for unknown node index {message.a}"
+            )
+        entry = self.program.nodes.entries[message.a]
+        self.host.on_peer_reboot(entry.mac)
+        if self.runtime is not None:
+            self.runtime.resend_state_to(entry.name)
+
+    def _on_restart_report(self, frame: EthernetFrame, message: ControlMessage) -> None:
+        if self.frontend is None:
+            return
+        if self.program is None or message.a >= len(self.program.nodes.entries):
+            raise ControlPlaneError(
+                f"{self.node_name}: RESTART_REPORT for unknown node index "
+                f"{message.a}"
+            )
+        self.frontend.schedule_restart(
+            self.program.nodes.entries[message.a].name, message.b
+        )
+
     # ------------------------------------------------------------------
     # RuntimeHooks: outbound state exchange and reports
     # ------------------------------------------------------------------
@@ -454,7 +545,32 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
     def fail_local_host(self) -> None:
         self.enabled = False
         self.scripted_failure = True
+        if self.lifecycle_hook is not None:
+            self.lifecycle_hook("fail")
         self.host.fail()
+
+    def crash_local_host(self) -> None:
+        """Execute a CRASH action: take this host down with amnesia."""
+        self.enabled = False
+        self.scripted_failure = True
+        if self.lifecycle_hook is not None:
+            self.lifecycle_hook("crash")
+        self.host.crash()
+
+    def request_restart(self, target_node: str, delay_ns: int) -> None:
+        """Execute a RESTART action: ask the front-end to reboot *target*."""
+        if self.frontend is not None:
+            self.frontend.schedule_restart(target_node, delay_ns)
+            return
+        if self.control_mac is None or self.program is None:
+            return
+        for index, entry in enumerate(self.program.nodes.entries):
+            if entry.name == target_node:
+                self._send_control(
+                    self.control_mac,
+                    ControlMessage(ControlType.RESTART_REPORT, index, delay_ns),
+                )
+                return
 
     def now(self) -> int:
         return self.sim.now

@@ -31,17 +31,29 @@ class DelayQueue:
         self.forward = forward
         self.delayed_packets = 0
         self.in_flight = 0
+        self._timers: set = set()
 
     def hold(self, data: bytes, direction: Direction, delay_ns: int) -> None:
         self.delayed_packets += 1
         self.in_flight += 1
         quantised = quantize_to_jiffies(delay_ns)
+        handle_box = []
 
         def release() -> None:
+            self._timers.discard(handle_box[0])
             self.in_flight -= 1
             self.forward(data, direction)
 
-        self.sim.after(quantised, release, "fault:delay")
+        handle = self.sim.after(quantised, release, "fault:delay")
+        handle_box.append(handle)
+        self._timers.add(handle)
+
+    def wipe(self) -> None:
+        """Drop every held packet without forwarding (host crash)."""
+        for handle in self._timers:
+            self.sim.cancel(handle)
+        self._timers.clear()
+        self.in_flight = 0
 
 
 class ReorderBuffer:
@@ -81,6 +93,10 @@ class ReorderBuffer:
             self.flushed_packets += len(buffer)
             for data, direction in buffer:
                 self.forward(data, direction)
+
+    def wipe(self) -> None:
+        """Discard everything still buffered without forwarding (crash)."""
+        self._buffers.clear()
 
 
 def apply_modify(action: ActionSpec, data: bytes, rng: RandomStream) -> bytes:

@@ -25,6 +25,7 @@ timestamp instead of sampling nodes over the network.
 
 from __future__ import annotations
 
+import enum
 import itertools
 from typing import Callable, Dict, List, Optional, Set
 
@@ -32,7 +33,7 @@ from ..errors import ScenarioError
 from ..net.addresses import MacAddress
 from ..sim import NS_PER_MS, NS_PER_SEC, Simulator
 from .engine import VirtualWireEngine
-from .report import EndReason, ErrorRecord, ScenarioReport
+from .report import CrashRecord, EndReason, ErrorRecord, ScenarioReport
 from .tables import ActionKind, CompiledProgram
 
 #: Inactivity window applied when the scenario declares no timeout.
@@ -46,6 +47,20 @@ HEARTBEAT_INTERVAL_NS = 200 * NS_PER_MS
 #: INIT re-sends tolerated per node after checksum NACKs before the
 #: scenario is abandoned with CONTROL_TIMEOUT.
 MAX_INIT_RESENDS = 3
+
+
+class NodeLifecycle(enum.Enum):
+    """Front-end view of one scenario node (docs/NODE_LIFECYCLE.md).
+
+    ``ALIVE → CRASHED → REBOOTING → RESYNCING → ALIVE``: a node leaves
+    ALIVE through a scripted CRASH or FAIL, re-enters through the
+    REGISTER → INIT → NODE_RESET → START rejoin handshake.
+    """
+
+    ALIVE = "alive"
+    CRASHED = "crashed"
+    REBOOTING = "rebooting"
+    RESYNCING = "resyncing"
 
 
 class Frontend:
@@ -63,9 +78,15 @@ class Frontend:
         self._registry: Dict[int, CompiledProgram] = {}
         self._program_ids = itertools.count(1)
         control_engine.frontend = self
-        for engine in self.engines.values():
+        for name, engine in self.engines.items():
             engine.program_registry = self._registry
             engine.activity_hook = self.touch
+            # Crash notification shortcut (DESIGN.md): like activity_hook
+            # this is orchestration bookkeeping, not protocol traffic — a
+            # crashing node cannot announce its own death on the wire.
+            engine.lifecycle_hook = lambda kind, node=name: self.node_crashed(
+                node, kind
+            )
 
         # Per-scenario state.
         self.program: Optional[CompiledProgram] = None
@@ -88,6 +109,15 @@ class Frontend:
         self.end_reason: Optional[EndReason] = None
         self.on_running: Optional[Callable[[], None]] = None
         self.inactivity_ns = DEFAULT_INACTIVITY_NS
+        #: per-node crash/restart state machine (docs/NODE_LIFECYCLE.md).
+        self.lifecycle: Dict[str, NodeLifecycle] = {}
+        self.crash_timeline: List[CrashRecord] = []
+        self._active_crash: Dict[str, CrashRecord] = {}
+        #: per-resyncing-node outstanding handshake tokens ("init",
+        #: "reset:<peer>") that gate its START.
+        self._resync: Dict[str, Set[str]] = {}
+        #: RESTART requests that arrived before the target's CRASH did.
+        self._pending_restart: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Scenario lifecycle
@@ -105,6 +135,20 @@ class Frontend:
                 raise ScenarioError(
                     f"scenario references node {node!r} but no engine is "
                     f"installed there"
+                )
+        control_name = None
+        for node in program.nodes.names():
+            if self._is_control_node(program.nodes.get(node).mac):
+                control_name = node
+        for action in program.actions:
+            if (
+                action.kind in (ActionKind.CRASH, ActionKind.RESTART)
+                and action.target_node is not None
+                and action.target_node == control_name
+            ):
+                raise ScenarioError(
+                    f"{action.kind.value}({control_name}) targets the control "
+                    f"node; the orchestrator cannot crash or reboot itself"
                 )
         self.program = program
         self.program_id = next(self._program_ids)
@@ -125,6 +169,13 @@ class Frontend:
         self.finished = False
         self.end_reason = None
         self.on_running = on_running
+        self.lifecycle = {
+            node: NodeLifecycle.ALIVE for node in program.nodes.names()
+        }
+        self.crash_timeline = []
+        self._active_crash = {}
+        self._resync = {}
+        self._pending_restart = {}
         if inactivity_ns is not None:
             self.inactivity_ns = inactivity_ns
         elif program.timeout_ns > 0:
@@ -157,6 +208,9 @@ class Frontend:
         entry = self.program.nodes.by_mac(src_mac)
         if entry is None:
             return
+        if entry.name in self._resync:
+            self._resync_init_acked(entry.name)
+            return
         self._pending_acks.discard(entry.name)
         if not self._pending_acks and not self.started:
             self._broadcast_start()
@@ -178,6 +232,9 @@ class Frontend:
             self._finish(EndReason.CONTROL_TIMEOUT)
             return
         self._init_resends[node] = resends + 1
+        record = self._active_crash.get(node)
+        if record is not None and node in self._resync:
+            record.resync_rounds += 1
         self.control_engine.send_init(src_mac, self.program_id, expected)
 
     def _broadcast_start(self) -> None:
@@ -240,6 +297,13 @@ class Frontend:
         for node in self.program.nodes.names():
             if node in self.unreachable_nodes or node in self.failed_nodes:
                 continue
+            if self.lifecycle.get(node) in (
+                NodeLifecycle.REBOOTING,
+                NodeLifecycle.RESYNCING,
+            ):
+                # Mid-rejoin: the node is expected silent (REBOOTING) or
+                # already exchanging INIT/START with us (RESYNCING).
+                continue
             mac = self.program.nodes.get(node).mac
             if self._is_control_node(mac):
                 continue
@@ -251,6 +315,14 @@ class Frontend:
             return
         entry = self.program.nodes.by_mac(peer_mac)
         node = entry.name if entry is not None else str(peer_mac)
+        state = self.lifecycle.get(node)
+        if state is not None and state is not NodeLifecycle.ALIVE:
+            # The script took this node down (CRASH/FAIL) or it is mid
+            # rejoin: silence is the experiment, not an orchestration
+            # failure — no false NODE_UNREACHABLE.
+            if node not in self.failed_nodes:
+                self.failed_nodes.append(node)
+            return
         engine = self.engines.get(node)
         if engine is not None and engine.scripted_failure:
             # The script killed this node on purpose (FAIL fault): its
@@ -263,6 +335,170 @@ class Frontend:
         self._finish(
             EndReason.NODE_UNREACHABLE if self.started else EndReason.CONTROL_TIMEOUT
         )
+
+    # ------------------------------------------------------------------
+    # Crash/restart lifecycle (docs/NODE_LIFECYCLE.md)
+    # ------------------------------------------------------------------
+
+    def node_crashed(self, node: str, kind: str) -> None:
+        """A scripted CRASH (*kind* ``"crash"``) or FAIL (``"fail"``) fired.
+
+        Both open a :class:`CrashRecord` and move the node to CRASHED so a
+        later RESTART can find it.  A CRASH additionally tears down the
+        control node's channel state toward the dead peer at once — its
+        TCP-equivalent connections died with the host, so retransmitting
+        into the void (and eventually declaring the node unreachable)
+        would model a channel that no longer exists.  FAIL keeps the
+        paper's original NIC-down-only semantics: the control plane only
+        learns of the silence through its retry budget.
+        """
+        if self.finished or self.program is None:
+            return
+        if self.lifecycle.get(node) is not NodeLifecycle.ALIVE:
+            return
+        record = CrashRecord(node=node, kind=kind, crash_time_ns=self.sim.now)
+        self.crash_timeline.append(record)
+        self._active_crash[node] = record
+        self.lifecycle[node] = NodeLifecycle.CRASHED
+        if kind == "crash":
+            if node not in self.failed_nodes:
+                self.failed_nodes.append(node)
+            entry = self.program.nodes.get(node)
+            if entry is not None and self.control_engine.host is not None:
+                self.control_engine.host.on_peer_reboot(entry.mac)
+        delay_ns = self._pending_restart.pop(node, None)
+        if delay_ns is not None:
+            self.schedule_restart(node, delay_ns)
+
+    def schedule_restart(self, node: str, delay_ns: int) -> None:
+        """A RESTART action fired: reboot *node* after *delay_ns*.
+
+        RESTART arms a reboot rather than demanding the node already be
+        down: the CRASH of a ``CRASH(n); RESTART(n, d)`` rule executes at
+        *n* itself while the RESTART request travels from the rule's home
+        node, so either may reach the front-end first.  A request for a
+        still-ALIVE node is therefore held and fires when its crash
+        notification lands.
+        """
+        if self.finished or self.program is None:
+            return
+        state = self.lifecycle.get(node)
+        if state is NodeLifecycle.ALIVE:
+            self._pending_restart.setdefault(node, delay_ns)
+            return
+        if state is not NodeLifecycle.CRASHED:
+            self.control_errors.append(
+                f"RESTART({node}) ignored: node is "
+                f"{state.value if state is not None else 'unknown'}, not crashed"
+            )
+            return
+        # Claim the reboot now so a duplicate RESTART is one reboot.
+        self.lifecycle[node] = NodeLifecycle.REBOOTING
+        self.sim.after(delay_ns, lambda: self._reboot_node(node), "frontend:restart")
+
+    def _reboot_node(self, node: str) -> None:
+        if self.finished or self.program is None:
+            return
+        if self.lifecycle.get(node) is not NodeLifecycle.REBOOTING:
+            return
+        record = self._active_crash.get(node)
+        if record is not None:
+            record.reboot_time_ns = self.sim.now
+        # Our own channel state toward the node predates its reboot (for a
+        # FAIL it still holds the pre-crash sequence numbers and the dead
+        # marking): reset it so the REGISTER from sequence 1 is accepted.
+        entry = self.program.nodes.get(node)
+        if entry is not None and self.control_engine.host is not None:
+            self.control_engine.host.on_peer_reboot(entry.mac)
+        engine = self.engines.get(node)
+        if engine is not None and engine.host is not None:
+            engine.host.reboot()
+
+    def on_register(self, src_mac: MacAddress) -> None:
+        """A rebooted node's blank engine asked to rejoin the scenario."""
+        if self.finished or self.program is None:
+            return
+        entry = self.program.nodes.by_mac(src_mac)
+        if entry is None or self.lifecycle.get(entry.name) is not NodeLifecycle.REBOOTING:
+            return
+        node = entry.name
+        self.lifecycle[node] = NodeLifecycle.RESYNCING
+        record = self._active_crash.get(node)
+        if record is not None:
+            record.register_time_ns = self.sim.now
+            record.resync_rounds = 1
+        # Tables first: peers only resend shared state once the node can
+        # hold it (NODE_RESET goes out on this node's INIT_ACK).
+        self._resync[node] = {"init"}
+        self.control_engine.send_init(
+            src_mac, self.program_id, self.program.checksum()
+        )
+
+    def _resync_init_acked(self, node: str) -> None:
+        """The rebooted node verified and installed the tables."""
+        waiting = self._resync.get(node)
+        if waiting is None or "init" not in waiting:
+            return
+        waiting.discard("init")
+        index = self._node_index(node)
+        for peer in self.program.nodes.names():
+            if peer == node:
+                continue
+            peer_mac = self.program.nodes.get(peer).mac
+            if self._is_control_node(peer_mac):
+                continue
+            if self.lifecycle.get(peer) is not NodeLifecycle.ALIVE:
+                continue
+            # Every live peer must restart its channel epoch toward the
+            # rebooted node (and replay its shared state) before START.
+            waiting.add(f"reset:{peer}")
+            self.control_engine.send_node_reset(
+                peer_mac,
+                index,
+                on_acked=lambda n=node, p=peer: self._on_reset_acked(n, p),
+            )
+        # The control node's own shared state replays directly.
+        if self.control_engine.runtime is not None:
+            self.control_engine.runtime.resend_state_to(node)
+        self._maybe_start_resynced(node)
+
+    def _on_reset_acked(self, node: str, peer: str) -> None:
+        waiting = self._resync.get(node)
+        if waiting is None:
+            return
+        waiting.discard(f"reset:{peer}")
+        self._maybe_start_resynced(node)
+
+    def _maybe_start_resynced(self, node: str) -> None:
+        waiting = self._resync.get(node)
+        if waiting is None or waiting or self.finished:
+            return
+        del self._resync[node]
+        mac = self.program.nodes.get(node).mac
+        self.control_engine.send_start(
+            mac, self.program_id, on_acked=lambda n=node: self._node_rejoined(n)
+        )
+
+    def _node_rejoined(self, node: str) -> None:
+        """The rebooted node acknowledged START: it is classifying again."""
+        if self.finished:
+            return
+        self.lifecycle[node] = NodeLifecycle.ALIVE
+        record = self._active_crash.pop(node, None)
+        if record is not None:
+            record.rejoin_time_ns = self.sim.now
+        if node in self.failed_nodes:
+            self.failed_nodes.remove(node)
+        engine = self.engines.get(node)
+        if engine is not None:
+            # Future silence from this node is a real failure again.
+            engine.scripted_failure = False
+
+    def _node_index(self, node: str) -> int:
+        for index, entry in enumerate(self.program.nodes.entries):
+            if entry.name == node:
+                return index
+        raise ScenarioError(f"node {node!r} is not part of the scenario")
 
     # ------------------------------------------------------------------
     # Reports from engines
@@ -348,4 +584,5 @@ class Frontend:
             unreachable_nodes=list(self.unreachable_nodes),
             failed_nodes=list(self.failed_nodes),
             control_errors=list(self.control_errors),
+            crash_timeline=list(self.crash_timeline),
         )

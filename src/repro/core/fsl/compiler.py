@@ -401,16 +401,52 @@ class _Compiler:
                             action.line,
                         )
                 spec.patches = tuple(patches)
-        elif name == "FAIL":
+        elif name in ("FAIL", "CRASH"):
             if len(action.args) != 1 or not isinstance(action.args[0], str):
-                raise FslCompileError("FAIL needs exactly one node name", action.line)
+                raise FslCompileError(
+                    f"{name} needs exactly one node name", action.line
+                )
             target = action.args[0]
             if target not in self.nodes:
-                raise FslCompileError(f"FAIL of unknown node {target!r}", action.line)
+                raise FslCompileError(
+                    f"{name} of unknown node {target!r}", action.line
+                )
             spec = ActionSpec(
                 action_id=action_id,
-                kind=ActionKind.FAIL,
+                kind=ActionKind.FAIL if name == "FAIL" else ActionKind.CRASH,
                 node=target,
+                target_node=target,
+                condition_id=condition_id,
+            )
+        elif name == "RESTART":
+            # RESTART(node [, delay]) executes at the rule's home node —
+            # the target is down and cannot run its own reboot — and asks
+            # the control node to reboot *target* after *delay*.
+            if not action.args or not isinstance(action.args[0], str):
+                raise FslCompileError(
+                    "RESTART needs a node name (and an optional delay)",
+                    action.line,
+                )
+            target = action.args[0]
+            if target not in self.nodes:
+                raise FslCompileError(
+                    f"RESTART of unknown node {target!r}", action.line
+                )
+            if len(action.args) > 2:
+                raise FslCompileError(
+                    "RESTART takes at most (node, delay)", action.line
+                )
+            delay_ns = (
+                self._require_duration(action.args, 1, action)
+                if len(action.args) > 1
+                else 0
+            )
+            spec = ActionSpec(
+                action_id=action_id,
+                kind=ActionKind.RESTART,
+                node=rule_home,
+                target_node=target,
+                delay_ns=delay_ns,
                 condition_id=condition_id,
             )
         elif name == "STOP":

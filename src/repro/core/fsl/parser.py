@@ -73,6 +73,8 @@ ACTION_NAMES = {
     "DUP",
     "MODIFY",
     "FAIL",
+    "CRASH",
+    "RESTART",
     "STOP",
     "FLAG_ERR",
     "FLAG_ERROR",

@@ -19,7 +19,12 @@ vacuous — the testing-tool equivalent of a test that always passes:
                            nothing;
 * ``unbounded-scenario`` — a scenario that expects a STOP but declares no
                            timeout: a hung protocol stalls the run until
-                           the caller's max-time fail-safe.
+                           the caller's max-time fail-safe;
+* ``dead-node-traffic``  — a rule after a FAIL/CRASH still depends on the
+                           dead node observing traffic (an event counter
+                           counted *at* that node) or arms a packet fault
+                           there, with no RESTART ever rebooting it: that
+                           part of the scenario can never happen.
 
 Findings are advisory (the engine runs any compilable script); CI-style
 users can fail on severity >= WARNING via :func:`lint_text`.
@@ -223,12 +228,89 @@ def check_verdict_sources(program: CompiledProgram) -> List[Finding]:
     return findings
 
 
+def check_dead_node_traffic(program: CompiledProgram) -> List[Finding]:
+    """Traffic expected at a node the script killed and never RESTARTed.
+
+    Counting a frame requires the counter's *home* node to classify it —
+    a FAILed/CRASHed home classifies nothing.  Counters that merely name
+    the dead node as source or destination but are observed elsewhere are
+    fine (Fig 6 counts the token handoffs *to* the dead node at node2).
+    """
+    findings = []
+    restarted = {
+        action.target_node
+        for action in program.actions
+        if action.kind is ActionKind.RESTART
+    }
+    kills = []  # (target node, script line of the kill, verb)
+    for action in program.actions:
+        if action.kind in (ActionKind.FAIL, ActionKind.CRASH):
+            target = action.target_node or action.node
+            if target is not None and target not in restarted:
+                kills.append(
+                    (
+                        target,
+                        program.conditions[action.condition_id].line,
+                        action.kind.value,
+                    )
+                )
+    if not kills:
+        return findings
+    for condition in program.conditions:
+        if condition.is_true_rule:
+            continue
+        referenced: Set[int] = set()
+        for term_id in condition.expr.term_ids():
+            term = program.terms[term_id]
+            for operand in (term.lhs, term.rhs):
+                if operand.is_counter:
+                    referenced.add(operand.counter_id)
+        for target, kill_line, verb in kills:
+            if condition.line <= kill_line:
+                continue
+            for counter_id in sorted(referenced):
+                counter = program.counters[counter_id]
+                if (
+                    counter.kind is CounterKind.EVENT
+                    and counter.home_node == target
+                ):
+                    findings.append(
+                        Finding(
+                            "dead-node-traffic",
+                            Severity.WARNING,
+                            f"rule at line {condition.line} reads counter "
+                            f"{counter.name!r}, counted at {target}, but "
+                            f"{verb}({target}) at line {kill_line} kills "
+                            f"that node with no RESTART: the counter can "
+                            f"never advance again",
+                            subject=counter.name,
+                        )
+                    )
+            for _node, action_id in condition.triggers:
+                action = program.actions[action_id]
+                if action.is_packet_fault and action.node == target:
+                    findings.append(
+                        Finding(
+                            "dead-node-traffic",
+                            Severity.WARNING,
+                            f"rule at line {condition.line} arms a "
+                            f"{action.kind.value} fault on {target}, but "
+                            f"{verb}({target}) at line {kill_line} kills "
+                            f"that node with no RESTART: the fault can "
+                            f"never apply",
+                            subject=f"line {condition.line}",
+                        )
+                    )
+    return findings
+
+
 _ALL_CHECKS = (
     check_unused_counters,
     check_never_counted,
     check_shadowed_filters,
     check_constant_conditions,
     check_verdict_sources,
+    check_dead_node_traffic,
 )
 
 

@@ -108,6 +108,21 @@ class ReliableControlPlane:
                     self.sim.cancel(pending.timer)
         self._peers.clear()
 
+    def reset_peer(self, mac: MacAddress) -> None:
+        """Forget the sequencing state for one peer (it rebooted).
+
+        Cancels that peer's pending retransmits and drops its receive
+        window, so the next exchange starts from sequence 1 on both the
+        send and receive side — matching the blank channel a freshly
+        booted node comes up with.
+        """
+        state = self._peers.pop(mac.packed, None)
+        if state is None:
+            return
+        for pending in state.inflight.values():
+            if pending.timer is not None:
+                self.sim.cancel(pending.timer)
+
     def _peer(self, mac: MacAddress) -> _PeerState:
         state = self._peers.get(mac.packed)
         if state is None:

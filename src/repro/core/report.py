@@ -45,6 +45,49 @@ class ErrorRecord:
 
 
 @dataclass
+class CrashRecord:
+    """One node's crash/recovery arc (CRASH or FAIL, optionally RESTART).
+
+    Times are virtual nanoseconds; fields past ``crash_time_ns`` stay
+    ``None`` when the node never restarted (or never got that far).
+    ``resync_rounds`` counts INIT shipments during the rejoin (1 for a
+    clean resync; +1 per checksum NACK re-send).
+    """
+
+    node: str
+    #: "crash" (CRASH: amnesia) or "fail" (FAIL: NIC down only).
+    kind: str
+    crash_time_ns: int
+    reboot_time_ns: Optional[int] = None
+    register_time_ns: Optional[int] = None
+    rejoin_time_ns: Optional[int] = None
+    resync_rounds: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "node": self.node,
+            "kind": self.kind,
+            "crash_time_ns": self.crash_time_ns,
+            "reboot_time_ns": self.reboot_time_ns,
+            "register_time_ns": self.register_time_ns,
+            "rejoin_time_ns": self.rejoin_time_ns,
+            "resync_rounds": self.resync_rounds,
+        }
+
+    def render(self) -> str:
+        arc = f"{self.kind.upper()} at {format_time(self.crash_time_ns)}"
+        if self.reboot_time_ns is not None:
+            arc += f", rebooted {format_time(self.reboot_time_ns)}"
+        if self.rejoin_time_ns is not None:
+            arc += (
+                f", rejoined {format_time(self.rejoin_time_ns)} "
+                f"({self.resync_rounds} resync round"
+                f"{'s' if self.resync_rounds != 1 else ''})"
+            )
+        return f"{self.node}: {arc}"
+
+
+@dataclass
 class ScenarioReport:
     """Everything the front-end learned from one scenario run."""
 
@@ -71,6 +114,8 @@ class ScenarioReport:
     failed_nodes: List[str] = field(default_factory=list)
     #: control-plane anomalies observed and survived (e.g. INIT NACKs).
     control_errors: List[str] = field(default_factory=list)
+    #: scripted crash/recovery arcs, in crash order (docs/NODE_LIFECYCLE.md).
+    crash_timeline: List[CrashRecord] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
@@ -143,6 +188,13 @@ class ScenarioReport:
             "unreachable_nodes": sorted(self.unreachable_nodes),
             "failed_nodes": sorted(self.failed_nodes),
             "control_errors": list(self.control_errors),
+            "crash_timeline": [
+                record.as_dict()
+                for record in sorted(
+                    self.crash_timeline,
+                    key=lambda r: (r.crash_time_ns, r.node),
+                )
+            ],
         }
 
     def render(self) -> str:
@@ -163,6 +215,10 @@ class ScenarioReport:
             )
         if self.failed_nodes:
             lines.append("  scripted-FAIL nodes: " + ", ".join(sorted(self.failed_nodes)))
+        for record in sorted(
+            self.crash_timeline, key=lambda r: (r.crash_time_ns, r.node)
+        ):
+            lines.append(f"  lifecycle: {record.render()}")
         for note in self.control_errors:
             lines.append(f"  control plane: {note}")
         for error in self.errors:

@@ -56,6 +56,12 @@ class RuntimeHooks:
     def fail_local_host(self) -> None:
         raise NotImplementedError
 
+    def crash_local_host(self) -> None:
+        raise NotImplementedError
+
+    def request_restart(self, target_node: str, delay_ns: int) -> None:
+        raise NotImplementedError
+
     def now(self) -> int:
         raise NotImplementedError
 
@@ -88,6 +94,9 @@ class NodeRuntime:
         #: state of conditions evaluated at this node.
         self.condition_state: Dict[int, bool] = {}
         self.started = False
+        #: set by a CRASH action executing here: the node is dead, further
+        #: settlement/armed-fault queries on this runtime are void.
+        self.crashed = False
 
         # Precomputed local slices of the tables.
         self.my_event_counters: List[CounterSpec] = [
@@ -168,6 +177,8 @@ class NodeRuntime:
         direction: Direction,
     ) -> List[ActionSpec]:
         """Packet faults active (condition true) that match this packet."""
+        if self.crashed:
+            return []
         matching = []
         for action in self.my_fault_actions:
             if (
@@ -287,7 +298,7 @@ class NodeRuntime:
         reset would always win and the STOP could never trigger).
         """
         steps = 0
-        while self._pending_conditions:
+        while self._pending_conditions and not self.crashed:
             steps += 1
             if steps > MAX_CASCADE_STEPS:
                 raise EngineError(
@@ -323,6 +334,8 @@ class NodeRuntime:
             if self._stats is not None:
                 self._stats.actions_fired += 1
             self._execute(action)
+            if self.crashed:
+                return  # a CRASH took the node down mid-rule
 
     def _execute(self, action: ActionSpec) -> None:
         kind = action.kind
@@ -350,6 +363,19 @@ class NodeRuntime:
             if self.audit is not None:
                 self.audit("fail", f"FAIL({self.node_name}) executed")
             self.hooks.fail_local_host()
+        elif kind is ActionKind.CRASH:
+            if self.audit is not None:
+                self.audit("fail", f"CRASH({self.node_name}) executed")
+            self.crashed = True
+            self.hooks.crash_local_host()
+        elif kind is ActionKind.RESTART:
+            if self.audit is not None:
+                self.audit(
+                    "restart",
+                    f"RESTART({action.target_node}) requested from "
+                    f"{self.node_name}",
+                )
+            self.hooks.request_restart(action.target_node, action.delay_ns)
         elif kind is ActionKind.STOP:
             if self.audit is not None:
                 self.audit("stop", "STOP executed")
@@ -361,6 +387,40 @@ class NodeRuntime:
             self.hooks.report_error(action.condition_id, action.action_id)
         else:
             raise EngineError(f"cannot execute action kind {kind}")
+
+    # ------------------------------------------------------------------
+    # Peer rejoin support
+    # ------------------------------------------------------------------
+
+    def resend_state_to(self, node: str) -> None:
+        """Replay this node's current shared state for a rebooted *node*.
+
+        A freshly re-INITed node starts from all-default tables; any term
+        status or mirrored counter value that is *currently* non-default
+        at its home would otherwise never be pushed again (pushes happen
+        on change only).  Replays are harmless to everyone else: both
+        receive paths are idempotent.
+        """
+        if not self.started or self.crashed:
+            return
+        for term in self.program.terms:
+            if (
+                term.mode is TermMode.LOCAL_BROADCAST
+                and term.home_node == self.node_name
+                and node in term.consumer_nodes
+                and node != self.node_name
+                and self.term_status.get(term.term_id, False)
+            ):
+                self.hooks.send_term_status(term.term_id, True, [node])
+        for counter in self.program.counters:
+            if (
+                counter.home_node == self.node_name
+                and node in counter.mirror_subscribers
+                and self.values[counter.counter_id] != 0
+            ):
+                self.hooks.send_counter_update(
+                    counter.counter_id, self.values[counter.counter_id], [node]
+                )
 
     # ------------------------------------------------------------------
     # Event bracketing

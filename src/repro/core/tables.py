@@ -407,6 +407,8 @@ class ActionKind(enum.Enum):
     DUP = "DUP"
     MODIFY = "MODIFY"
     FAIL = "FAIL"
+    CRASH = "CRASH"
+    RESTART = "RESTART"
     STOP = "STOP"
     FLAG_ERROR = "FLAG_ERROR"
 
@@ -455,7 +457,12 @@ class ActionSpec:
     reorder_order: Tuple[int, ...] = ()
     #: MODIFY: explicit patches as (offset, bytes); empty means "random".
     patches: Tuple[Tuple[int, bytes], ...] = ()
-    #: FAIL: the node to crash (also stored in .node).
+    #: FAIL/CRASH: the node to crash (also stored in .node).
+    #: RESTART: the crashed node to reboot.  Stored separately from .node
+    #: because the action *executes* at the rule's home node (the crashed
+    #: node cannot run its own restart), ``delay_ns`` carrying the boot
+    #: delay.
+    target_node: Optional[str] = None
     #: the condition this action belongs to (filled by the compiler).
     condition_id: int = -1
 

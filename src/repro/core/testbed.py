@@ -238,6 +238,34 @@ class Testbed:
         """
         self.host(ref).nic.bring_down()
 
+    def crash_node(self, ref: HostRef) -> None:
+        """Crash *ref* with amnesia, as a ``CRASH(node)`` action would.
+
+        The NIC goes down and every piece of soft state — TCP connections,
+        engine tables and counters, held DELAY/REORDER packets, reliable
+        channel sequencing — is destroyed (docs/NODE_LIFECYCLE.md).  Call
+        during a running scenario; pair with :meth:`restart_node`.
+        """
+        host = self.host(ref)
+        engine = self.engines.get(host.name)
+        if engine is None:
+            raise ScenarioError(
+                f"{host.name} has no VirtualWire engine; use install_virtualwire"
+            )
+        engine.crash_local_host()
+
+    def restart_node(self, ref: HostRef, delay_ns: int = 0) -> None:
+        """Reboot a crashed *ref* after *delay_ns*, as ``RESTART`` would.
+
+        The node comes back with blank tables, registers with the control
+        node and resumes classifying only after the CRC-verified resync
+        completes.  Requires :meth:`install_virtualwire`'s front-end.
+        """
+        host = self.host(ref)
+        if self.frontend is None:
+            raise ScenarioError("restart_node requires install_virtualwire")
+        self.frontend.schedule_restart(host.name, delay_ns)
+
     # ------------------------------------------------------------------
     # Script helpers
     # ------------------------------------------------------------------

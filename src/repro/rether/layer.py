@@ -153,6 +153,44 @@ class RetherLayer(FrameLayer):
             self.sim.after(NS_PER_MS, self._service_token, "rether:first-cycle")
         self._arm_regen_timer()
 
+    def on_host_crash(self) -> None:
+        """Host crash: all protocol state is lost with the machine.
+
+        Queues, the held token, pending handoffs and every timer vanish;
+        the ring recovers around us via ack-timeout eviction and token
+        regeneration.  A later reboot starts from generation 0 — the
+        live ring's bumped generation wins on contact.
+        """
+        self._cancel_handoff_timer()
+        self._handoff_msg = None
+        self._handoff_target = None
+        self._handoff_attempts = 0
+        if self._regen_timer is not None:
+            self._regen_timer.cancel()
+            self._regen_timer = None
+        self._regen_strikes = 0
+        if self._idle_pass_timer is not None:
+            self._idle_pass_timer.cancel()
+            self._idle_pass_timer = None
+        self._queue.clear()
+        self._rt_queue.clear()
+        self.holding_token = False
+        self.generation = 0
+        self._token_seq = 0
+        self._cycle_start = 0
+        self._dead.clear()
+        self._started = False
+
+    def on_host_resynced(self) -> None:
+        """The rebooted host's engine re-armed its tables: rejoin the ring.
+
+        Deliberately *not* done at reboot time — protocol traffic must
+        resume only once fault injection is armed again, preserving the
+        testbed's "armed before traffic" invariant.
+        """
+        self._started = True
+        self.rejoin()
+
     # ------------------------------------------------------------------
     # Frame-chain hooks
     # ------------------------------------------------------------------

@@ -111,6 +111,23 @@ class RllLayer(FrameLayer):
         return state
 
     # ------------------------------------------------------------------
+    # Host lifecycle
+    # ------------------------------------------------------------------
+
+    def on_host_crash(self) -> None:
+        """Host crash: every window, backlog and timer is gone."""
+        for peer in self._peers.values():
+            self._cancel_timer(peer)
+        self._peers.clear()
+
+    def on_peer_reboot(self, mac: MacAddress) -> None:
+        """A peer rebooted with sequence numbers back at zero: forget the
+        old pairing so the fresh exchange is not discarded as duplicates."""
+        peer = self._peers.pop(mac, None)
+        if peer is not None:
+            self._cancel_timer(peer)
+
+    # ------------------------------------------------------------------
     # Downward path: encapsulate and window
     # ------------------------------------------------------------------
 

@@ -121,6 +121,61 @@ def rether_failover_script(node_table_fsl: str, data_threshold: int = 1000) -> s
     )
 
 
+#: Extended Fig 6 (docs/NODE_LIFECYCLE.md): the failed node does not stay
+#: dead — it is crashed with amnesia, rebooted after a delay, re-synced by
+#: the control node, and must carry the token again before STOP.
+_CRASH_RESTART_SCENARIO = """\
+SCENARIO Crash_Restart_Rejoin 1sec
+  CNT_DATA:    (TCP_data, node1, node4, RECV)
+  TokensTo2:   (tr_token, node1, node2, RECV)
+  TokensFrom2: (tr_token, node2, node3, SEND)
+  TokensTo4:   (tr_token, node2, node4, RECV)
+  Healed:      (tr_token, node3, node4, RECV)
+  ((CNT_DATA > {data_threshold})) >> ENABLE_CNTR( TokensTo2 );
+  /* Fault injection: crash node3 with amnesia, reboot it later.  The
+     trigger counter is reset AND disabled: tokens keep circling the
+     healed ring, and a re-armed trigger would re-crash the node the
+     moment it rejoined. */
+  ((TokensTo2 = 1)) >> CRASH( node3 );
+        RESTART( node3, {restart_delay_ms} );
+        ENABLE_CNTR( TokensFrom2 );
+        RESET_CNTR( TokensTo2 );
+        DISABLE_CNTR( TokensTo2 );
+  /*** ANALYSIS SCRIPT ***/
+  /* Ring heals around the dead node: three handoff attempts, then bypass */
+  ((TokensFrom2 = 3)) >> ENABLE_CNTR( TokensTo4 );
+  ((TokensTo4 = 1)) >> DISABLE_CNTR( TokensFrom2 ); ENABLE_CNTR( Healed );
+  /* The rebooted node carries the token again: full recovery */
+  ((Healed = 1)) >> STOP;
+  ((TokensFrom2 > 3)) >> FLAG_ERROR;
+END
+"""
+
+
+def rether_crash_restart_script(
+    node_table_fsl: str,
+    data_threshold: int = 1000,
+    restart_delay_ms: int = 300,
+) -> str:
+    """The extended Fig 6 script: crash, reboot, re-sync, rejoin.
+
+    Like :func:`rether_failover_script` up to the node loss, but the node
+    is CRASHed (soft state destroyed, not just the NIC) and RESTARTed
+    *restart_delay_ms* later.  Success requires the healed ring *and* the
+    rebooted node forwarding the token again (``Healed``); the scenario
+    fails if node2 hands the token to the dead node more than its three
+    eviction attempts.
+    """
+    return (
+        RETHER_FILTER_TABLE
+        + node_table_fsl
+        + "\n"
+        + _CRASH_RESTART_SCENARIO.format(
+            data_threshold=data_threshold, restart_delay_ms=restart_delay_ms
+        )
+    )
+
+
 def canonical_node_table(n_hosts: int) -> str:
     """The NODE_TABLE a default :class:`repro.Testbed` generates for hosts
 
@@ -150,6 +205,9 @@ def write_standard_scripts(directory) -> list:
     files = {
         "fig5_tcp_congestion.fsl": tcp_congestion_script(canonical_node_table(2)),
         "fig6_rether_failover.fsl": rether_failover_script(canonical_node_table(4)),
+        "fig6_crash_restart.fsl": rether_crash_restart_script(
+            canonical_node_table(4)
+        ),
     }
     written = []
     for name, content in files.items():

@@ -44,11 +44,20 @@ class DriverLayer(FrameLayer):
         if self.costs.driver_rx_ns > 0:
             self.sim.after(
                 self.costs.driver_rx_ns,
-                lambda: self.pass_up(frame_bytes),
+                lambda: self._rx_continue(frame_bytes),
                 f"{self.name}:rx",
             )
         else:
-            self.pass_up(frame_bytes)
+            self._rx_continue(frame_bytes)
+
+    def _rx_continue(self, frame_bytes: bytes) -> None:
+        # The NIC may have been brought down (crash) between delivery and
+        # this deferred softirq: a dead interface must not hand frames to
+        # the stack.  Counted with the NIC's other down-drops.
+        if not self.nic.is_up:
+            self.nic.down_drops += 1
+            return
+        self.pass_up(frame_bytes)
 
     def on_receive(self, frame_bytes: bytes) -> None:
         # Nothing sits below the driver; reception enters via the NIC upcall.

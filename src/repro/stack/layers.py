@@ -52,6 +52,20 @@ class FrameLayer:
     def attached(self) -> None:
         """Called once the layer is spliced in and ``self.host`` is set."""
 
+    # -- host lifecycle hooks (crash/restart, all default no-ops) -----------
+
+    def on_host_crash(self) -> None:
+        """The owning host crashed: drop all soft state, cancel timers."""
+
+    def on_host_reboot(self) -> None:
+        """The owning host is booting back up with blank state."""
+
+    def on_peer_reboot(self, mac) -> None:
+        """The peer at *mac* crashed and rebooted: forget its session state."""
+
+    def on_host_resynced(self) -> None:
+        """The rebooted host's tables are re-armed; resume protocol work."""
+
     # -- forwarding helpers ---------------------------------------------------
 
     def pass_down(self, frame_bytes: bytes) -> None:

@@ -52,6 +52,7 @@ class Host:
 
             self.tcp = TcpLayer(sim, self, self.costs)
         self.rether = None  # installed on demand by repro.rether
+        self._awaiting_resync = False  # set by reboot(), cleared once re-armed
 
     # -- identity -------------------------------------------------------------
 
@@ -85,6 +86,56 @@ class Host:
         """Bring a crashed node back (used by extension scenarios)."""
         self.is_alive = True
         self.nic.bring_up()
+
+    # -- crash/restart lifecycle (the CRASH/RESTART fault primitives) -----------
+
+    def crash(self) -> None:
+        """Crash with amnesia: NIC down plus total loss of soft state.
+
+        Unlike :meth:`fail` (power cut observed only from outside), this
+        also destroys everything a real reboot would lose — TCP
+        connections and socket buffers, UDP bindings, and every spliced
+        layer's session state via its ``on_host_crash`` hook.
+        """
+        self.is_alive = False
+        self.nic.bring_down()
+        self._wipe_soft_state()
+
+    def reboot(self) -> None:
+        """Boot the crashed node back up into a blank-state machine.
+
+        Re-runs the teardown first so a node taken down with plain
+        :meth:`fail` still comes up with amnesia, then raises the NIC and
+        marks the host as awaiting resynchronisation: layers get their
+        ``on_host_resynced`` hook (and resume protocol work) only once
+        :meth:`on_engine_started` reports the re-shipped fault tables are
+        armed.
+        """
+        self._wipe_soft_state()
+        self.is_alive = True
+        self.nic.bring_up()
+        self._awaiting_resync = True
+        for layer in self.chain.layers:
+            layer.on_host_reboot()
+
+    def on_peer_reboot(self, mac: MacAddress) -> None:
+        """A peer crashed and rebooted: layers forget its session state."""
+        for layer in self.chain.layers:
+            layer.on_peer_reboot(mac)
+
+    def on_engine_started(self) -> None:
+        """The local engine re-armed its tables after a reboot."""
+        if getattr(self, "_awaiting_resync", False):
+            self._awaiting_resync = False
+            for layer in self.chain.layers:
+                layer.on_host_resynced()
+
+    def _wipe_soft_state(self) -> None:
+        if self.tcp is not None:
+            self.tcp.crash()
+        self.udp.crash()
+        for layer in self.chain.layers:
+            layer.on_host_crash()
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else "FAILED"

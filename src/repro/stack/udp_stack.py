@@ -81,6 +81,12 @@ class UdpLayer:
     def release_port(self, port: int) -> None:
         self._sockets.pop(port, None)
 
+    def crash(self) -> None:
+        """Host crash: every binding vanishes without close() running."""
+        for socket in self._sockets.values():
+            socket.closed = True
+        self._sockets.clear()
+
     def _pick_ephemeral(self) -> int:
         for _ in range(0xFFFF - _EPHEMERAL_BASE):
             candidate = self._next_ephemeral

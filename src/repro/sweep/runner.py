@@ -95,15 +95,29 @@ def _crash_row(task: SweepTask, exc: BaseException, attempts: int) -> SweepResul
     )
 
 
-def _run_serial(tasks: List[SweepTask], workers: int, retries: int) -> List[SweepResult]:
-    return [execute_task(task) for task in tasks]
+def _is_failure(row: SweepResult) -> bool:
+    """The fail-fast trigger: a crashed task or a failed scenario verdict."""
+    return not row.ok or row.payload.get("passed") is False
+
+
+def _run_serial(
+    tasks: List[SweepTask], workers: int, retries: int, fail_fast: bool
+) -> List[SweepResult]:
+    rows: List[SweepResult] = []
+    for task in tasks:
+        row = execute_task(task)
+        rows.append(row)
+        if fail_fast and _is_failure(row):
+            break  # stop enumerating: later tasks are never started
+    return rows
 
 
 def _run_parallel(
-    tasks: List[SweepTask], workers: int, retries: int
+    tasks: List[SweepTask], workers: int, retries: int, fail_fast: bool
 ) -> List[SweepResult]:
     rows: Dict[int, SweepResult] = {}
     casualties: List[tuple] = []  # (task, exc) pairs from a broken pool
+    aborting = False
     ctx = _pool_context()
     with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
         futures = {pool.submit(execute_task, task): task for task in tasks}
@@ -112,18 +126,30 @@ def _run_parallel(
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 task = futures[future]
+                if future.cancelled():
+                    continue  # fail-fast revoked it before it started
                 try:
                     row = future.result()
                 except BaseException as exc:  # worker death broke the pool
                     casualties.append((task, exc))
-                else:
-                    rows[task.index] = row
+                    continue
+                rows[task.index] = row
+                if fail_fast and _is_failure(row):
+                    aborting = True
+            if aborting and pending:
+                # Cancel everything not yet started; tasks already running
+                # finish and keep their rows (a row, once begun, is never
+                # half-reported).
+                for future in pending:
+                    future.cancel()
     # Bounded retry, one task per fresh single-worker pool: the genuine
     # crasher dies alone; innocent casualties of the shared pool complete.
+    # An aborting campaign skips the retries — it is already being torn
+    # down — and records the crash rows as-is.
     for task, first_exc in sorted(casualties, key=lambda pair: pair[0].index):
         attempts = 1
         row: Optional[SweepResult] = None
-        while attempts <= retries:
+        while not aborting and attempts <= retries:
             attempts += 1
             try:
                 with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as solo:
@@ -136,7 +162,7 @@ def _run_parallel(
         else:
             row.attempts = attempts
         rows[task.index] = row
-    return [rows[task.index] for task in tasks]
+    return [rows[task.index] for task in tasks if task.index in rows]
 
 
 BACKENDS = {
@@ -150,6 +176,7 @@ def run_sweep(
     backend: str = "parallel",
     workers: Optional[int] = None,
     retries: int = DEFAULT_RETRIES,
+    fail_fast: bool = False,
 ) -> SweepOutcome:
     """Execute a campaign and merge its rows deterministically.
 
@@ -157,6 +184,12 @@ def run_sweep(
     parent) or a prepared task list.  Rows always come back in task order;
     with healthy tasks the merged outcome's :meth:`canonical_bytes` is
     identical across backends, worker counts and completion orders.
+
+    *fail_fast* stops the campaign at the first failed row: the serial
+    backend stops enumerating, the pool backend cancels every task not yet
+    started (in-flight tasks finish and keep their rows).  A fail-fast
+    outcome with ``aborted=True`` covers only a subset of the grid, so the
+    cross-backend byte-identity guarantee applies to full runs only.
     """
     try:
         run = BACKENDS[backend]
@@ -173,7 +206,7 @@ def run_sweep(
         raise SweepError(f"workers must be >= 1, got {effective_workers}")
     meta = spec_meta(spec_or_tasks)
     started = time.perf_counter()
-    rows = run(tasks, effective_workers, retries)
+    rows = run(tasks, effective_workers, retries, fail_fast)
     return SweepOutcome(
         spec_name=meta["name"],
         base_seed=meta["base_seed"],
@@ -181,4 +214,5 @@ def run_sweep(
         workers=effective_workers,
         rows=rows,
         wall_seconds=time.perf_counter() - started,
+        aborted=fail_fast and len(rows) < len(tasks),
     )

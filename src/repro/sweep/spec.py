@@ -134,6 +134,9 @@ class SweepOutcome:
     workers: int
     rows: List[SweepResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: fail-fast tripped: enumeration stopped early, ``rows`` is a prefix
+    #: (plus any already-in-flight tasks) of the full campaign.
+    aborted: bool = False
 
     @property
     def failures(self) -> List[SweepResult]:
@@ -192,6 +195,8 @@ class SweepOutcome:
                 f"{row.wall_seconds:>7.2f}s wall  x{row.attempts}"
             )
         verdict = "ALL OK" if self.passed else f"{len(self.failures)} FAILED"
+        if self.aborted:
+            verdict += " (fail-fast: campaign aborted early)"
         lines.append(
             f"{'-' * 40} {verdict}: {len(self.rows)} tasks, "
             f"{self.backend}({self.workers}w), "

@@ -213,6 +213,10 @@ class TcpConnection:
             )
         self._enter_closed(notify=True)
 
+    def destroy(self) -> None:
+        """Host crash: drop all state silently — no RST, no callbacks."""
+        self._enter_closed(notify=False)
+
     @property
     def is_established(self) -> bool:
         return self.state is TcpState.ESTABLISHED

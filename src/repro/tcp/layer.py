@@ -136,6 +136,19 @@ class TcpLayer:
         """Remove a closed connection from the demux table."""
         self._connections.pop(self._key(conn.local_port, conn.remote_ip, conn.remote_port), None)
 
+    def crash(self) -> None:
+        """Host crash: destroy every connection and listener in place.
+
+        No FINs, no RSTs, no callbacks — the memory holding this state is
+        simply gone.  Peers discover the death organically: their
+        retransmissions go unanswered, and anything sent after a reboot
+        hits the fresh layer's orphan-segment RST path.
+        """
+        for conn in list(self._connections.values()):
+            conn.destroy()
+        self._connections.clear()
+        self._listeners.clear()
+
     # -- internals ------------------------------------------------------------
 
     def _create_connection(

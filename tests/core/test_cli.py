@@ -204,3 +204,29 @@ class TestSweep:
         )
         assert code == 1  # the row fails; the campaign reports it
         assert "unknown medium" in text
+
+    def test_fail_fast_stops_the_grid(self, fig6_path):
+        # Every cell fails (no ring, no traffic); without --fail-fast the
+        # campaign runs all 3 seeds, with it only the first.
+        base = (
+            "sweep", fig6_path, "--backend", "serial", "--seeds", "0,1,2",
+            "--workload", "none", "--max-time", "2",
+        )
+        code_full, text_full = run_cli(*base)
+        code_ff, text_ff = run_cli(*base, "--fail-fast")
+        assert code_full == 1 and code_ff == 1
+        assert "3 FAILED: 3 tasks" in text_full
+        assert "1 FAILED" in text_ff
+        assert "1 tasks" in text_ff
+        assert "fail-fast: campaign aborted early" in text_ff
+
+    def test_rether_campaign_passes_fig6(self, fig6_path):
+        # With the ring installed and a steady feed, Fig 6 passes from the
+        # command line alone.
+        code, text = run_cli(
+            "sweep", fig6_path, "--backend", "serial", "--seeds", "5",
+            "--media", "bus", "--rether", "--workload", "tcp_feed",
+            "--max-time", "30",
+        )
+        assert code == 0
+        assert "PASS" in text

@@ -180,3 +180,61 @@ class TestReportVerdicts:
         report = self._report(control_errors=["INIT NACK from node2"])
         assert report.passed  # survived anomalies do not fail the run
         assert "INIT NACK from node2" in report.render()
+
+
+class TestReportSerialisation:
+    """Satellite: degraded reports — crash timeline included — must cross
+    process boundaries intact (the sweep pool pickles them, the CLI and
+    CI artefacts JSON them)."""
+
+    def _degraded_report(self):
+        from repro.core.report import CrashRecord
+
+        return ScenarioReport(
+            scenario_name="t",
+            end_reason=EndReason.NODE_UNREACHABLE,
+            duration_ns=2_000_000,
+            unreachable_nodes=["node2"],
+            failed_nodes=["node3"],
+            control_errors=["START retries exhausted toward node2"],
+            errors=[ErrorRecord("node4", 3, 1, 77, line=12)],
+            crash_timeline=[
+                CrashRecord(
+                    node="node3",
+                    kind="crash",
+                    crash_time_ns=1_000_000,
+                    reboot_time_ns=1_500_000,
+                    register_time_ns=1_600_000,
+                    rejoin_time_ns=1_700_000,
+                    resync_rounds=2,
+                ),
+                CrashRecord(node="node2", kind="fail", crash_time_ns=900_000),
+            ],
+        )
+
+    def test_report_pickle_round_trip(self):
+        import pickle
+
+        report = self._degraded_report()
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone.summary() == report.summary()
+        assert clone.render() == report.render()
+        assert clone.degraded and not clone.passed
+
+    def test_summary_is_json_round_trippable(self):
+        import json
+
+        report = self._degraded_report()
+        summary = report.summary()
+        clone = json.loads(json.dumps(summary, sort_keys=True))
+        assert clone == summary
+        # Timeline rows are plain dicts, sorted by (crash time, node).
+        timeline = clone["crash_timeline"]
+        assert [row["node"] for row in timeline] == ["node2", "node3"]
+        assert timeline[1]["resync_rounds"] == 2
+        assert timeline[0]["rejoin_time_ns"] is None  # never came back
+
+    def test_render_shows_the_lifecycle_arc(self):
+        text = self._degraded_report().render()
+        assert "lifecycle" in text
+        assert "node3" in text

@@ -287,3 +287,56 @@ END
     def test_missing_node_table_rejected(self):
         with pytest.raises(FslCompileError):
             compile_text("SCENARIO t END")
+
+
+class TestCrashRestart:
+    """The crash/restart lifecycle actions (docs/NODE_LIFECYCLE.md)."""
+
+    def _compile(self, rule):
+        return compile_scenario(
+            f"""
+            R: (pkt_a, node1, node2, RECV)
+            {rule}
+            """
+        )
+
+    def _action(self, program, kind):
+        (spec,) = [a for a in program.actions if a.kind is kind]
+        return spec
+
+    def test_crash_executes_at_the_target(self):
+        program = self._compile("((R = 1)) >> CRASH( node3 );")
+        spec = self._action(program, ActionKind.CRASH)
+        assert spec.node == "node3"
+        assert spec.target_node == "node3"
+
+    def test_restart_executes_at_the_rule_home(self):
+        """The target is down at restart time, so the action runs at the
+        rule's home node, which relays the request to control."""
+        program = self._compile(
+            "((R = 1)) >> CRASH( node3 ); RESTART( node3, 250 );"
+        )
+        spec = self._action(program, ActionKind.RESTART)
+        assert spec.node == "node2"  # R is counted at node2 (RECV)
+        assert spec.target_node == "node3"
+        assert spec.delay_ns == 250_000_000  # bare integers are ms
+
+    def test_restart_delay_defaults_to_zero(self):
+        program = self._compile("((R = 1)) >> RESTART( node2 );")
+        assert self._action(program, ActionKind.RESTART).delay_ns == 0
+
+    def test_restart_delay_accepts_units(self):
+        program = self._compile("((R = 1)) >> RESTART( node2, 2sec );")
+        assert self._action(program, ActionKind.RESTART).delay_ns == 2 * 10**9
+
+    def test_restart_of_unknown_node_rejected(self):
+        with pytest.raises(FslCompileError):
+            self._compile("((R = 1)) >> RESTART( node9 );")
+
+    def test_restart_extra_args_rejected(self):
+        with pytest.raises(FslCompileError):
+            self._compile("((R = 1)) >> RESTART( node2, 1, 2 );")
+
+    def test_crash_needs_exactly_one_node(self):
+        with pytest.raises(FslCompileError):
+            self._compile("((R = 1)) >> CRASH( node2, node3 );")

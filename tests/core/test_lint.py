@@ -240,3 +240,94 @@ END"""
 END""")
         lint_text(tcp_congestion_script(nodes2), fail_on=Severity.WARNING)
         lint_text(rether_failover_script(nodes4), fail_on=Severity.WARNING)
+
+
+class TestDeadNodeTraffic:
+    def test_counter_homed_at_dead_node_detected(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  Kill: (pkt_a, node2, node1, RECV)
+  Dead: (pkt_b, node1, node2, RECV)
+  ((Kill = 1)) >> FAIL( node2 );
+  ((Dead = 3)) >> STOP;
+END
+"""
+        )
+        hits = [f for f in findings if f.rule == "dead-node-traffic"]
+        assert len(hits) == 1
+        assert hits[0].severity is Severity.WARNING
+        assert hits[0].subject == "Dead"
+        assert "FAIL(node2)" in hits[0].message
+
+    def test_crash_counts_as_a_kill_too(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  Kill: (pkt_a, node2, node1, RECV)
+  Dead: (pkt_b, node1, node2, RECV)
+  ((Kill = 1)) >> CRASH( node2 );
+  ((Dead = 3)) >> STOP;
+END
+"""
+        )
+        assert "dead-node-traffic" in rules_of(findings)
+
+    def test_restart_suppresses(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  Kill: (pkt_a, node2, node1, RECV)
+  Dead: (pkt_b, node1, node2, RECV)
+  ((Kill = 1)) >> CRASH( node2 ); RESTART( node2, 100 );
+  ((Dead = 3)) >> STOP;
+END
+"""
+        )
+        assert "dead-node-traffic" not in rules_of(findings)
+
+    def test_fig6_shape_not_flagged(self):
+        """Counting handoffs *to* the dead node at the sender's side — the
+        shipped Fig 6 pattern — is legitimate and must stay clean."""
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  Kill:  (pkt_a, node2, node1, RECV)
+  ToDead: (pkt_b, node1, node2, SEND)
+  ((Kill = 1)) >> FAIL( node2 );
+  ((ToDead = 3)) >> STOP;
+END
+"""
+        )
+        assert "dead-node-traffic" not in rules_of(findings)
+
+    def test_packet_fault_armed_on_dead_node_detected(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  Kill: (pkt_a, node2, node1, RECV)
+  ((Kill = 1)) >> FAIL( node2 );
+  ((Kill = 2)) >> DROP( pkt_b, node1, node2, RECV ); STOP;
+END
+"""
+        )
+        hits = [f for f in findings if f.rule == "dead-node-traffic"]
+        assert len(hits) == 1
+        assert "fault" in hits[0].message
+
+    def test_rules_before_the_kill_are_fine(self):
+        findings = lint_text(
+            HEADER + """
+SCENARIO s
+  Dead: (pkt_b, node1, node2, RECV)
+  ((Dead = 3)) >> FAIL( node2 );
+END
+"""
+        )
+        assert "dead-node-traffic" not in rules_of(findings)
+
+    def test_shipped_crash_restart_scenario_is_clean(self):
+        from repro.scripts import canonical_node_table, rether_crash_restart_script
+
+        findings = lint_text(rether_crash_restart_script(canonical_node_table(4)))
+        assert "dead-node-traffic" not in rules_of(findings)

@@ -10,6 +10,7 @@ from repro.core.lint import Severity, lint_text
 from repro.core.testbed import Testbed
 from repro.scripts import (
     canonical_node_table,
+    rether_crash_restart_script,
     rether_failover_script,
     tcp_congestion_script,
     write_standard_scripts,
@@ -22,6 +23,7 @@ class TestShippedFiles:
     def test_directory_populated(self):
         assert (SCENARIOS_DIR / "fig5_tcp_congestion.fsl").exists()
         assert (SCENARIOS_DIR / "fig6_rether_failover.fsl").exists()
+        assert (SCENARIOS_DIR / "fig6_crash_restart.fsl").exists()
 
     def test_files_match_templates(self):
         """The checked-in files are exactly what the templates generate —
@@ -32,6 +34,8 @@ class TestShippedFiles:
         assert fig5 == tcp_congestion_script(canonical_node_table(2))
         fig6 = (SCENARIOS_DIR / "fig6_rether_failover.fsl").read_text()
         assert fig6 == rether_failover_script(canonical_node_table(4))
+        crash = (SCENARIOS_DIR / "fig6_crash_restart.fsl").read_text()
+        assert crash == rether_crash_restart_script(canonical_node_table(4))
 
     def test_files_compile_and_lint_clean(self):
         for path in SCENARIOS_DIR.glob("*.fsl"):
@@ -58,6 +62,6 @@ class TestShippedFiles:
 
     def test_write_regenerates(self, tmp_path):
         written = write_standard_scripts(tmp_path)
-        assert len(written) == 2
+        assert len(written) == 3
         for path in written:
             compile_text(path.read_text())

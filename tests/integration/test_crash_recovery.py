@@ -1,0 +1,181 @@
+"""Integration: the extended Fig 6 — crash, reboot, re-sync, rejoin.
+
+The node loss of the paper's §6.2 case study becomes a full lifecycle:
+node3 is CRASHed with amnesia mid-scenario, RESTARTed 300 ms later by the
+script, re-registers with the control node over the reliable channel, has
+its tables re-shipped and CRC-verified, and must carry the Rether token
+again before the STOP rule can fire.
+"""
+
+import json
+
+import pytest
+
+from repro.core.frontend import NodeLifecycle
+from repro.core.testbed import Testbed
+from repro.rether.install import install_rether
+from repro.scripts import (
+    canonical_node_table,
+    rether_crash_restart_script,
+)
+from repro.sim import seconds
+from repro.sweep import SweepSpec, run_script_task, run_sweep
+
+SENDER_PORT = 0x6000
+RECEIVER_PORT = 0x4000
+#: Lowered from the paper-scale 1000 to keep the test fast.
+DATA_THRESHOLD = 60
+
+
+def run_case_study(seed=5, control_loss=0.0, threshold=DATA_THRESHOLD):
+    tb = Testbed(seed=seed)
+    hosts = [tb.add_host(f"node{i}") for i in range(1, 5)]
+    tb.add_bus("bus0")
+    tb.connect("bus0", *hosts)
+    tb.install_virtualwire(control="node1")
+    if control_loss:
+        tb.add_control_loss("node2", control_loss)
+        tb.add_control_loss("node3", control_loss)
+    install_rether(hosts)
+    script = rether_crash_restart_script(
+        tb.node_table_fsl(), data_threshold=threshold
+    )
+
+    def workload():
+        hosts[3].tcp.listen(RECEIVER_PORT)
+        conn = hosts[0].tcp.connect(
+            hosts[3].ip, RECEIVER_PORT, local_port=SENDER_PORT
+        )
+        conn.on_established = lambda: conn.send(bytes((threshold + 40) * 1024))
+
+    report = tb.run_scenario(script, workload=workload, max_time=seconds(60))
+    return tb, hosts, report
+
+
+class TestCrashRecoveryScenario:
+    def test_scenario_passes(self):
+        tb, hosts, report = run_case_study()
+        assert report.passed, report.render()
+        assert report.end_reason.value == "stop"
+        assert report.stop_node == "node4"
+
+    def test_node3_is_back_alive(self):
+        tb, hosts, report = run_case_study()
+        assert hosts[2].is_alive
+        assert tb.frontend.lifecycle["node3"] is NodeLifecycle.ALIVE
+        # Rejoined nodes are no longer counted as scripted deaths.
+        assert report.failed_nodes == []
+        assert report.unreachable_nodes == []
+
+    def test_ring_fully_reconstructed(self):
+        """Eviction healed the ring to 3; the rejoin restores all 4."""
+        tb, hosts, report = run_case_study()
+        for host in hosts:
+            assert len(host.rether.ring) == 4
+
+    def test_crash_timeline_arc(self):
+        tb, hosts, report = run_case_study()
+        (record,) = report.crash_timeline
+        assert record.node == "node3"
+        assert record.kind == "crash"
+        assert record.resync_rounds == 1
+        # Strictly ordered arc: crash < reboot < register < rejoin, with
+        # the scripted 300 ms boot delay between crash and reboot.
+        assert record.crash_time_ns < record.reboot_time_ns
+        assert record.reboot_time_ns - record.crash_time_ns >= 300_000_000
+        assert record.reboot_time_ns < record.register_time_ns
+        assert record.register_time_ns < record.rejoin_time_ns
+
+    def test_exactly_three_token_transmissions(self):
+        tb, hosts, report = run_case_study()
+        assert report.final_counters["TokensFrom2"] == 3
+        assert not report.errors
+        assert report.final_counters["Healed"] >= 1
+
+    def test_amnesia_node3_counters_restart_from_zero(self):
+        """node3's re-INITed tables start blank: its local view of every
+        counter reflects only post-rejoin state."""
+        tb, hosts, report = run_case_study()
+        assert report.counters["node3"]["CNT_DATA"] == 0
+        assert report.counters["node3"]["TokensTo2"] == 0
+
+
+class TestNoFalseUnreachable:
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_converges_under_20_percent_control_loss(self, seed):
+        """The rejoin handshake rides the reliable channel: 20 % control
+        loss slows it down but never produces NODE_UNREACHABLE."""
+        tb, hosts, report = run_case_study(seed=seed, control_loss=0.2)
+        assert report.passed, report.render()
+        assert report.unreachable_nodes == []
+        (record,) = report.crash_timeline
+        assert record.rejoin_time_ns is not None
+
+
+class TestDeterminism:
+    def test_summary_byte_identical_across_runs(self):
+        """The full summary — crash timeline included — is reproducible."""
+        _, _, first = run_case_study(seed=7)
+        _, _, second = run_case_study(seed=7)
+        blob = lambda r: json.dumps(r.summary(), sort_keys=True)  # noqa: E731
+        assert blob(first) == blob(second)
+
+    def test_serial_and_parallel_sweeps_byte_identical(self):
+        """The flagship differential: the crash/restart scenario merged
+        from a 2-worker pool equals the serial reference, byte for byte."""
+        script = rether_crash_restart_script(
+            canonical_node_table(4), data_threshold=40
+        )
+        spec = SweepSpec("crash-restart-differential", base_seed=3)
+        for seed in (0, 1):
+            spec.add(
+                f"s{seed}",
+                run_script_task,
+                script=script,
+                seed=seed,
+                medium="bus",
+                rether=True,
+                workload={"kind": "tcp_bulk", "bytes": 100 * 1024},
+            )
+        serial = run_sweep(spec, backend="serial")
+        parallel = run_sweep(spec, backend="parallel", workers=2)
+        assert all(row.ok for row in serial.rows), serial.render()
+        assert all(
+            row.payload["passed"] for row in serial.rows
+        ), serial.render()
+        assert serial.canonical_bytes() == parallel.canonical_bytes()
+        # The crash timeline itself crossed the process boundary.
+        timeline = serial.rows[0].payload["crash_timeline"]
+        assert timeline[0]["node"] == "node3"
+        assert timeline[0]["rejoin_time_ns"] is not None
+
+
+class TestManualCrashApi:
+    def test_testbed_crash_and_restart(self):
+        """Testbed.crash_node/restart_node drive the same lifecycle as the
+        FSL actions, for scenarios scripted from Python."""
+        from repro.scripts import rether_failover_script
+
+        tb = Testbed(seed=2)
+        hosts = [tb.add_host(f"node{i}") for i in range(1, 5)]
+        tb.add_bus("bus0")
+        tb.connect("bus0", *hosts)
+        tb.install_virtualwire(control="node1")
+        install_rether(hosts)
+        # A scenario with no scripted kill: the threshold is unreachable.
+        script = rether_failover_script(
+            tb.node_table_fsl(), data_threshold=10_000_000
+        )
+
+        def workload():
+            tb.crash_node("node3")
+            tb.restart_node("node3", delay_ns=150_000_000)
+
+        report = tb.run_scenario(
+            script, workload=workload, max_time=seconds(5), inactivity_ns=seconds(1)
+        )
+        assert hosts[2].is_alive
+        (record,) = report.crash_timeline
+        assert record.node == "node3"
+        assert record.rejoin_time_ns is not None
+        assert report.unreachable_nodes == []

@@ -1,0 +1,141 @@
+"""Host crash-with-amnesia semantics: NIC, driver, TCP, UDP.
+
+The CRASH fault primitive models pulling the power on a real machine:
+frames parked in the driver at the instant of the crash are gone, socket
+state evaporates without close() running anywhere, and a later reboot
+comes up with blank tables.
+"""
+
+from repro.sim import ms, seconds
+from tests.conftest import make_two_hosts
+
+
+def frame_to(host, noise: int = 0) -> bytes:
+    """An arbitrary frame addressed to *host* (so its NIC accepts it); the
+    driver's crash guard fires before any parsing, so the body is noise."""
+    return bytes(host.mac.packed) + bytes([noise % 256]) * 58
+
+
+class TestDriverCrashDrops:
+    def test_frame_parked_in_driver_is_dropped(self, sim):
+        """A frame delivered to the NIC but still inside the driver's
+        rx-processing window when the host crashes must never come up the
+        stack — the softirq that would complete it died with the kernel."""
+        _, h1, h2 = make_two_hosts(sim)  # default costs: driver_rx_ns > 0
+        got = []
+        h2.udp.bind(9).on_receive = lambda p, ip, port: got.append(p)
+        rx_before = h2.driver.rx_frames
+        h2.nic.deliver(frame_to(h2))
+        assert h2.driver.rx_frames == rx_before + 1  # the NIC accepted it
+        h2.crash()  # ...before the deferred rx completion runs
+        sim.run_until(seconds(1))
+        assert got == []
+        assert h2.nic.down_drops == 1
+
+    def test_drop_is_deterministic_under_traffic(self, sim):
+        """Crash mid-flow: every datagram is either delivered before the
+        crash or dropped; the split is identical run to run."""
+
+        def run_once():
+            sim_local, h1, h2 = None, None, None
+            from repro.sim import Simulator
+
+            sim_local = Simulator(seed=99)
+            _, h1, h2 = make_two_hosts(sim_local)
+            got = []
+            h2.udp.bind(9).on_receive = lambda p, ip, port: got.append(p)
+            sender = h1.udp.bind(0)
+            for i in range(20):
+                sim_local.after(
+                    (i + 1) * 100_000,
+                    lambda i=i: sender.sendto(bytes([i]) * 32, h2.ip, 9),
+                )
+            sim_local.after(ms(1), h2.crash)
+            sim_local.run_until(seconds(1))
+            return len(got), h2.nic.down_drops
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        delivered, dropped = first
+        assert 0 < delivered < 20  # the crash really landed mid-flow
+        assert dropped > 0
+
+    def test_frames_arriving_while_down_count_as_drops(self, sim):
+        _, h1, h2 = make_two_hosts(sim)
+        h2.crash()
+        h2.nic.deliver(frame_to(h2))
+        sim.run_until(ms(1))
+        assert h2.nic.down_drops == 1
+        assert h2.driver.rx_frames == 0  # never even reached the driver
+
+
+class TestSoftStateAmnesia:
+    def test_udp_bindings_vanish(self, sim):
+        _, h1, h2 = make_two_hosts(sim)
+        got = []
+        h2.udp.bind(9).on_receive = lambda p, ip, port: got.append(p)
+        h2.crash()
+        h2.reboot()
+        h1.udp.bind(0).sendto(b"hello?", h2.ip, 9)
+        sim.run_until(seconds(1))
+        assert got == []  # the binding did not survive the reboot
+        h2.udp.bind(9)  # and the port is free again, no SocketError
+
+    def test_tcp_connections_destroyed_without_fin(self, sim):
+        _, h1, h2 = make_two_hosts(sim)
+        h2.tcp.listen(0x4000)
+        conn = h1.tcp.connect(h2.ip, 0x4000, local_port=0x6000)
+        sim.run_until(ms(50))
+        assert conn.state.value == "ESTABLISHED"
+        frames_before = h2.driver.tx_frames
+        h2.crash()
+        assert h2.tcp.connections() == []
+        sim.run_until(ms(51))
+        # No FIN/RST escaped: the crash sent nothing.
+        assert h2.driver.tx_frames == frames_before
+
+    def test_fail_then_reboot_still_wipes(self, sim):
+        """A node taken down with plain FAIL (no amnesia) must still come
+        up blank if it is later rebooted: the reboot path re-runs the
+        teardown."""
+        _, h1, h2 = make_two_hosts(sim)
+        h2.udp.bind(9)
+        h2.fail()
+        assert h2.udp._sockets  # FAIL alone preserves the binding
+        h2.reboot()
+        assert not h2.udp._sockets
+        assert h2.is_alive
+        assert h2.nic.is_up
+
+    def test_reboot_defers_resync_hooks_until_engine_start(self, sim):
+        """Layers hear ``on_host_resynced`` only once the re-shipped fault
+        tables are armed, never at raw boot."""
+        from repro.stack.layers import FrameLayer
+
+        _, h1, h2 = make_two_hosts(sim)
+
+        class Recorder(FrameLayer):
+            def __init__(self):
+                super().__init__("recorder")
+                self.events = []
+
+            def on_host_crash(self):
+                self.events.append("crash")
+
+            def on_host_reboot(self):
+                self.events.append("reboot")
+
+            def on_host_resynced(self):
+                self.events.append("resynced")
+
+        recorder = Recorder()
+        h2.chain.splice_below_ip(recorder)
+        h2.crash()
+        h2.reboot()
+        assert recorder.events == ["crash", "crash", "reboot"]
+        h2.on_engine_started()
+        assert recorder.events == ["crash", "crash", "reboot", "resynced"]
+        # Idempotent: a second engine start is not a second resync.
+        h2.on_engine_started()
+        assert recorder.events == ["crash", "crash", "reboot", "resynced"]

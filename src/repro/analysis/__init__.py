@@ -1,0 +1,43 @@
+"""Fault Analysis telemetry: metrics, frame journeys, report enrichment.
+
+The analysis layer of the paper's FIE/FAE pair (docs/OBSERVABILITY.md):
+
+* :class:`MetricsRegistry` — per-node counters/gauges/histograms, off by
+  default, fed by instrumented stack layers;
+* :func:`correlate_journeys` — cross-node frame timelines joined from
+  trace captures and audit decisions by flow-invariant digest;
+* :func:`merge_snapshots` — associative aggregation of metric snapshots
+  across sweep rows.
+"""
+
+from .journey import (
+    FrameJourney,
+    correlate_journeys,
+    frame_digest,
+    render_journeys,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NodeMetrics,
+    merge_snapshots,
+    merge_values,
+    render_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "FrameJourney",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NodeMetrics",
+    "correlate_journeys",
+    "frame_digest",
+    "merge_snapshots",
+    "merge_values",
+    "render_journeys",
+    "render_metrics",
+]

@@ -230,6 +230,91 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0 if outcome.passed else 1
 
 
+def cmd_analyze(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .analysis import render_journeys, render_metrics
+    from .sim import NS_PER_SEC
+    from .sweep import SweepSpec, run_script_task, run_sweep
+
+    if args.row:
+        with open(args.row, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        # Accept either a bare payload or a canonical sweep row.
+        if "payload" in payload and isinstance(payload["payload"], dict):
+            payload = payload["payload"]
+    else:
+        if not args.script:
+            raise ReproError("analyze needs a script (or --row FILE)")
+        spec = SweepSpec(args.script, base_seed=args.seed)
+        spec.add(
+            "analyze",
+            run_script_task,
+            script=_load(args.script),
+            scenario=args.scenario,
+            seed=args.seed,
+            medium=args.medium,
+            rll=args.rll,
+            rether=args.rether,
+            capture=True,
+            audit=True,
+            metrics=True,
+            workload={"kind": args.workload},
+            max_time_ns=int(args.max_time * NS_PER_SEC),
+        )
+        outcome = run_sweep(spec, backend="serial")
+        row = outcome.rows[0]
+        if not row.ok:
+            print(f"error: scenario run failed: {row.error}", file=out)
+            return 2
+        payload = row.payload
+    journeys = payload.get("journeys", [])
+    metrics = payload.get("metrics", {})
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            for journey in journeys:
+                handle.write(json.dumps(journey, sort_keys=True) + "\n")
+    if args.json:
+        print(
+            json.dumps(
+                {"journeys": journeys, "metrics": metrics},
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+    else:
+        verdict = payload.get("passed")
+        print(
+            f"scenario {payload.get('scenario')!r}: "
+            f"{'PASS' if verdict else 'FAIL' if verdict is False else '?'} "
+            f"({payload.get('end_reason')}), "
+            f"{len(journeys)} frame journeys",
+            file=out,
+        )
+        dropped = payload.get("trace_records_dropped") or 0
+        if dropped:
+            print(
+                f"WARNING: capture saturated, {dropped} frames dropped — "
+                f"journeys may be incomplete",
+                file=out,
+            )
+        print("", file=out)
+        rendered = render_journeys(
+            journeys, limit=args.journeys, faults_only=not args.all
+        )
+        if rendered:
+            print(rendered, file=out)
+        if metrics:
+            print("", file=out)
+            print("metrics:", file=out)
+            print(render_metrics(metrics), file=out)
+    if args.check and (not journeys or not metrics):
+        print("error: --check: expected non-empty journeys and metrics", file=out)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -318,6 +403,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print canonical result rows as JSON"
     )
     sweep.set_defaults(handler=cmd_sweep)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run a scenario with full telemetry and render the FAE's "
+        "frame journeys and per-node metrics",
+    )
+    analyze.add_argument("script", nargs="?", default=None)
+    analyze.add_argument("--scenario", default=None)
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument(
+        "--medium", default="switch", choices=("switch", "hub", "bus", "link")
+    )
+    analyze.add_argument(
+        "--workload",
+        default="tcp_bulk",
+        choices=("tcp_bulk", "tcp_feed", "udp_probes", "none"),
+    )
+    analyze.add_argument(
+        "--rll", action="store_true", help="enable the Reliable Link Layer"
+    )
+    analyze.add_argument(
+        "--rether", action="store_true", help="install a Rether token ring"
+    )
+    analyze.add_argument(
+        "--max-time",
+        type=float,
+        default=60.0,
+        help="virtual-time cap, in seconds (default 60)",
+    )
+    analyze.add_argument(
+        "--journeys",
+        type=int,
+        default=10,
+        help="max journeys to render (default 10)",
+    )
+    analyze.add_argument(
+        "--all",
+        action="store_true",
+        help="render every journey, not just faulted/retransmitted ones",
+    )
+    analyze.add_argument(
+        "--row",
+        default=None,
+        help="render a saved sweep row (JSON file) instead of running",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="print journeys + metrics as JSON"
+    )
+    analyze.add_argument(
+        "--jsonl", default=None, help="also dump one journey per line to FILE"
+    )
+    analyze.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless journeys and metrics are non-empty (CI smoke)",
+    )
+    analyze.set_defaults(handler=cmd_analyze)
 
     return parser
 

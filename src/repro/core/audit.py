@@ -28,6 +28,9 @@ class AuditEvent:
     node: str
     kind: str  # "condition" | "fault" | "fail" | "stop" | "error" | "start"
     detail: str
+    #: flow-invariant digest of the frame the decision applied to, when
+    #: any ("" otherwise) — the join key for repro.analysis journeys.
+    digest: str = ""
 
     def render(self) -> str:
         return f"{format_time(self.time_ns):>14} {self.node:<10} {self.kind:<10} {self.detail}"
@@ -42,11 +45,11 @@ class AuditLog:
         self.events: List[AuditEvent] = []
         self.dropped = 0
 
-    def record(self, node: str, kind: str, detail: str) -> None:
+    def record(self, node: str, kind: str, detail: str, digest: str = "") -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
-        self.events.append(AuditEvent(self.sim.now, node, kind, detail))
+        self.events.append(AuditEvent(self.sim.now, node, kind, detail, digest))
 
     def recorder_for(self, node: str) -> Callable[[str, str], None]:
         """A per-node closure the engine hands to its runtime."""
@@ -73,7 +76,14 @@ class AuditLog:
 
     def render(self, kind: Optional[str] = None) -> str:
         events = self.select(kind=kind)
-        return "\n".join(event.render() for event in events)
+        lines = [event.render() for event in events]
+        if self.dropped:
+            # A saturated log must never read as a complete narrative.
+            lines.append(
+                f"... {self.dropped} event{'s' if self.dropped != 1 else ''} "
+                f"dropped (log saturated at {self.max_events})"
+            )
+        return "\n".join(lines)
 
     def clear(self) -> None:
         self.events.clear()

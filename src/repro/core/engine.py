@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..analysis.journey import frame_digest
 from ..errors import ControlChecksumError, ControlPlaneError, EngineError
 from ..net.bytesutil import read_u16
 from ..net.frame import ETHERTYPE_VW_CONTROL, EthernetFrame
@@ -130,6 +131,15 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         self._delay_queue = DelayQueue(sim, self._forward)
         self._reorder_buffer = ReorderBuffer(sim, self._forward)
         self._modify_rng = None
+        #: bumped by every crash: deferred forwards from a previous life
+        #: check it and die instead of delivering frames post-crash.
+        self._life_epoch = 0
+        # Metric handles (repro.analysis), pre-resolved in attached();
+        # None unless the testbed enabled metrics — the zero-cost path.
+        self._m_packets = None
+        self._m_faults = None
+        self._m_cost = None
+        self._m_delay_depth = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -137,6 +147,16 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
 
     def attached(self) -> None:
         self._modify_rng = self.sim.random.stream(f"fault:modify:{self.host.name}")
+        metrics = getattr(self.host, "metrics", None)
+        if metrics is not None:
+            self.arm_metrics(metrics)
+
+    def arm_metrics(self, metrics) -> None:
+        """Pre-resolve metric handles from a :class:`NodeMetrics`."""
+        self._m_packets = metrics.counter("engine", "packets_intercepted")
+        self._m_faults = metrics.counter("engine", "faults_applied")
+        self._m_cost = metrics.histogram("engine", "cost_ns")
+        self._m_delay_depth = metrics.gauge("engine", "delay_queue_depth")
 
     @property
     def node_name(self) -> str:
@@ -195,6 +215,7 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         self._delay_queue.wipe()
         self._reorder_buffer.wipe()
         self._busy_until = 0
+        self._life_epoch += 1
         self.stats = EngineStats()
 
     def on_host_reboot(self) -> None:
@@ -235,6 +256,8 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
 
     def _process(self, data: bytes, direction: Direction) -> None:
         self.stats.packets_intercepted += 1
+        if self._m_packets is not None:
+            self._m_packets.inc()
         costs = self.host.costs
         pkt_type, scanned = self.classifier.classify(data)
         self.stats.filter_entries_scanned += scanned
@@ -255,12 +278,15 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         duplicate = False
         for action in self.runtime.armed_faults(pkt_type, src_node, dst_node, direction):
             kind = action.kind
+            if self._m_faults is not None:
+                self._m_faults.inc()
             if self.audit_log is not None:
                 self.audit_log.record(
                     self.node_name,
                     "fault",
                     f"{kind.value} applied to {pkt_type} "
                     f"({src_node} -> {dst_node}, {direction.value})",
+                    digest=frame_digest(data),
                 )
             if kind is ActionKind.DROP:
                 self.stats.packets_dropped += 1
@@ -270,6 +296,8 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
                 self.stats.packets_delayed += 1
                 self._charge(cost)
                 self._delay_queue.hold(data, direction, action.delay_ns)
+                if self._m_delay_depth is not None:
+                    self._m_delay_depth.set(self._delay_queue.in_flight)
                 return
             if kind is ActionKind.REORDER:
                 self.stats.packets_reordered += 1
@@ -302,14 +330,19 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         release = max(self.sim.now, self._busy_until) + cost_ns
         self._busy_until = release
         self.stats.cost_charged_ns += cost_ns
+        if self._m_cost is not None:
+            self._m_cost.observe(cost_ns)
         return release
 
     def _forward_after(
         self, cost_ns: int, data: bytes, direction: Direction, duplicate: bool = False
     ) -> None:
         release = self._charge(cost_ns)
+        epoch = self._life_epoch
 
         def emit() -> None:
+            if epoch != self._life_epoch:
+                return  # the host crashed while this frame sat on the CPU
             self._forward(data, direction)
             if duplicate:
                 self._forward(data, direction)

@@ -116,6 +116,22 @@ class ScenarioReport:
     control_errors: List[str] = field(default_factory=list)
     #: scripted crash/recovery arcs, in crash order (docs/NODE_LIFECYCLE.md).
     crash_timeline: List[CrashRecord] = field(default_factory=list)
+    #: telemetry (repro.analysis) — populated only when the corresponding
+    #: subsystem was enabled at install time, so default runs keep their
+    #: pre-telemetry summary() key set byte-for-byte.
+    #: MetricsRegistry.snapshot() when metrics=True, else None.
+    metrics: Optional[Dict[str, object]] = None
+    #: canonical frame-journey dicts when capture=True, else None.
+    journeys: Optional[List[Dict[str, object]]] = None
+    #: events lost to AuditLog saturation (None when audit was off).
+    audit_events_dropped: Optional[int] = None
+    #: frames lost to TraceRecorder saturation (None when capture was off).
+    trace_records_dropped: Optional[int] = None
+
+    @property
+    def truncated(self) -> bool:
+        """True when any enabled log saturated: narratives are incomplete."""
+        return bool(self.audit_events_dropped) or bool(self.trace_records_dropped)
 
     @property
     def degraded(self) -> bool:
@@ -159,7 +175,7 @@ class ScenarioReport:
         serialise to byte-identical summaries regardless of the process
         that produced them.
         """
-        return {
+        summary: Dict[str, object] = {
             "scenario": self.scenario_name,
             "passed": self.passed,
             "degraded": self.degraded,
@@ -175,14 +191,21 @@ class ScenarioReport:
                     "time_ns": e.time_ns,
                     "line": e.line,
                 }
-                for e in self.errors
+                for e in sorted(
+                    self.errors,
+                    key=lambda e: (e.time_ns, e.node, e.condition_id, e.action_id),
+                )
             ],
             "counters": {
-                node: dict(values) for node, values in sorted(self.counters.items())
+                node: {name: values[name] for name in sorted(values)}
+                for node, values in sorted(self.counters.items())
             },
-            "final_counters": dict(self.final_counters),
+            "final_counters": {
+                name: self.final_counters[name]
+                for name in sorted(self.final_counters)
+            },
             "engine_stats": {
-                node: dict(values)
+                node: {name: values[name] for name in sorted(values)}
                 for node, values in sorted(self.engine_stats.items())
             },
             "unreachable_nodes": sorted(self.unreachable_nodes),
@@ -196,6 +219,17 @@ class ScenarioReport:
                 )
             ],
         }
+        # Telemetry keys appear only when their subsystem ran, keeping the
+        # default payload identical to the pre-telemetry shape.
+        if self.metrics is not None:
+            summary["metrics"] = self.metrics
+        if self.journeys is not None:
+            summary["journeys"] = self.journeys
+        if self.audit_events_dropped is not None:
+            summary["audit_events_dropped"] = self.audit_events_dropped
+        if self.trace_records_dropped is not None:
+            summary["trace_records_dropped"] = self.trace_records_dropped
+        return summary
 
     def render(self) -> str:
         """Human-readable multi-line summary."""
@@ -226,4 +260,22 @@ class ScenarioReport:
         for node in sorted(self.counters):
             pairs = ", ".join(f"{k}={v}" for k, v in self.counters[node].items())
             lines.append(f"  {node}: {pairs}")
+        if self.journeys:
+            count = len(self.journeys)
+            lines.append(
+                f"  {count} frame journey{'s' if count != 1 else ''} "
+                f"reconstructed (repro analyze)"
+            )
+        if self.audit_events_dropped:
+            lines.append(
+                f"  WARNING: audit log saturated, "
+                f"{self.audit_events_dropped} events dropped — the audit "
+                f"trail is truncated"
+            )
+        if self.trace_records_dropped:
+            lines.append(
+                f"  WARNING: trace capture saturated, "
+                f"{self.trace_records_dropped} frames dropped — journeys "
+                f"may be incomplete"
+            )
         return "\n".join(lines)

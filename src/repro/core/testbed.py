@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..analysis import MetricsRegistry, correlate_journeys
 from ..errors import ScenarioError, TopologyError
 from ..net.addresses import IpAddress, MacAddress
 from ..net.topology import Topology
@@ -97,6 +98,7 @@ class Testbed:
         self.frontend: Optional[Frontend] = None
         self.recorder: Optional[TraceRecorder] = None
         self.audit_log: Optional[AuditLog] = None
+        self.metrics: Optional[MetricsRegistry] = None
         self._host_index = 0
 
     # ------------------------------------------------------------------
@@ -164,6 +166,7 @@ class Testbed:
         rll: bool = False,
         capture: bool = False,
         audit: bool = False,
+        metrics: bool = False,
         engine_config: Optional[EngineConfig] = None,
     ) -> Frontend:
         """Splice the FIE/FAE (and optionally the RLL below it) into hosts.
@@ -173,7 +176,10 @@ class Testbed:
         With *capture* a :class:`TraceRecorder` tap is spliced above each
         engine, recording exactly what the protocols under test see; with
         *audit* every engine feeds a shared :class:`AuditLog` narrating
-        rule firings and fault applications (``testbed.audit_log``).
+        rule firings and fault applications (``testbed.audit_log``); with
+        *metrics* every instrumented layer feeds a shared
+        :class:`~repro.analysis.MetricsRegistry` (``testbed.metrics``,
+        exported via ``report.metrics`` — docs/OBSERVABILITY.md).
         *engine_config* tunes every engine (e.g.
         ``EngineConfig(classifier="linear")`` selects the reference
         classifier instead of the indexed fast path).
@@ -192,7 +198,12 @@ class Testbed:
             self.recorder = TraceRecorder(self.sim)
         if audit:
             self.audit_log = AuditLog(self.sim)
+        if metrics:
+            self.metrics = MetricsRegistry()
         for host in targets:
+            if self.metrics is not None:
+                # Before splicing: layers pre-resolve handles in attached().
+                host.enable_metrics(self.metrics.node(host.name))
             if rll:
                 layer = RllLayer(self.sim)
                 host.chain.splice_above_driver(layer)
@@ -335,7 +346,18 @@ class Testbed:
         # Let in-flight shutdown control frames drain briefly so engines
         # disable before the caller inspects them.
         self.sim.run_for(seconds(0.01))
-        return frontend.build_report()
+        report = frontend.build_report()
+        if self.audit_log is not None:
+            report.audit_events_dropped = self.audit_log.dropped
+        if self.recorder is not None:
+            report.trace_records_dropped = self.recorder.dropped_records
+            report.journeys = [
+                journey.as_dict()
+                for journey in correlate_journeys(self.recorder, self.audit_log)
+            ]
+        if self.metrics is not None:
+            report.metrics = self.metrics.snapshot()
+        return report
 
     def run_for(self, duration: int) -> None:
         """Advance the simulation without a scenario (workload warm-up)."""

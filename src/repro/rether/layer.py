@@ -121,6 +121,10 @@ class RetherLayer(FrameLayer):
         self.data_sent = 0
         self.queue_drops = 0
         self.be_deferred = 0
+        # Metric handles (repro.analysis); None keeps the hot path free.
+        self._m_token_rtx = None
+        self._m_regen = None
+        self._m_evicted = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -137,6 +141,11 @@ class RetherLayer(FrameLayer):
             raise RetherError(
                 f"{self._mac} is not a member of the ring {self._members}"
             )
+        metrics = getattr(self.host, "metrics", None)
+        if metrics is not None:
+            self._m_token_rtx = metrics.counter("rether", "token_retransmissions")
+            self._m_regen = metrics.counter("rether", "regenerations")
+            self._m_evicted = metrics.counter("rether", "nodes_evicted")
 
     def start(self, as_master: bool = False) -> None:
         """Begin protocol operation.  Exactly one node starts as master
@@ -374,6 +383,8 @@ class RetherLayer(FrameLayer):
         self._handoff_attempts += 1
         if self._handoff_attempts > 1:
             self.token_retransmissions += 1
+            if self._m_token_rtx is not None:
+                self._m_token_rtx.inc()
         else:
             self.tokens_passed += 1
         self.pass_down(
@@ -407,6 +418,8 @@ class RetherLayer(FrameLayer):
         # reconstruct the ring without it.
         dead = self._handoff_target
         self.nodes_evicted += 1
+        if self._m_evicted is not None:
+            self._m_evicted.inc()
         self._dead.add(dead)
         self._handoff_msg = None
         self._handoff_target = None
@@ -487,6 +500,8 @@ class RetherLayer(FrameLayer):
         if self._regen_strikes <= self._regen_rank():
             return
         self.regenerations += 1
+        if self._m_regen is not None:
+            self._m_regen.inc()
         self.generation = (self.generation + 1) % (1 << 16)
         self.holding_token = True
         self._cycle_start = self.sim.now

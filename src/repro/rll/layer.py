@@ -92,10 +92,19 @@ class RllLayer(FrameLayer):
         self.out_of_order_discarded = 0
         self.abandoned_frames = 0
         self.bypass_frames = 0
+        # Metric handles (repro.analysis); None keeps the hot path free.
+        self._m_rtx = None
+        self._m_abandoned = None
+        self._m_backlog = None
 
     def attached(self) -> None:
         if self._frame_cost_ns is None:
             self._frame_cost_ns = self.host.costs.rll_frame_ns if self.host else 0
+        metrics = getattr(self.host, "metrics", None)
+        if metrics is not None:
+            self._m_rtx = metrics.counter("rll", "retransmissions")
+            self._m_abandoned = metrics.counter("rll", "abandoned_frames")
+            self._m_backlog = metrics.gauge("rll", "backlog_depth")
 
     def _charge(self, thunk, label: str) -> None:
         if self._frame_cost_ns:
@@ -140,6 +149,8 @@ class RllLayer(FrameLayer):
         peer = self._peer(frame.dst)
         if peer.unacked >= self.window_size:
             peer.backlog.append(frame)
+            if self._m_backlog is not None:
+                self._m_backlog.set(len(peer.backlog))
             return
         self._charge(lambda: self._send_data(frame.dst, peer, frame), "rll:tx")
 
@@ -247,6 +258,8 @@ class RllLayer(FrameLayer):
             # The peer is gone (e.g. a FAIL fault): abandon its traffic so
             # the simulation can quiesce instead of retrying forever.
             self.abandoned_frames += len(peer.window) + len(peer.backlog)
+            if self._m_abandoned is not None:
+                self._m_abandoned.inc(len(peer.window) + len(peer.backlog))
             peer.window.clear()
             peer.backlog.clear()
             peer.unacked = 0
@@ -255,6 +268,8 @@ class RllLayer(FrameLayer):
         # Go-back-N: resend everything outstanding, oldest first.
         for seq, frame in peer.window:
             self.retransmissions += 1
+            if self._m_rtx is not None:
+                self._m_rtx.inc()
             self._emit_data(dst, frame, seq, peer.rcv_next)
         self._arm_timer(dst, peer)
 

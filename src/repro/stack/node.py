@@ -52,6 +52,9 @@ class Host:
 
             self.tcp = TcpLayer(sim, self, self.costs)
         self.rether = None  # installed on demand by repro.rether
+        #: repro.analysis NodeMetrics when the testbed enabled metrics;
+        #: layers check it in attached() to pre-resolve their handles.
+        self.metrics = None
         self._awaiting_resync = False  # set by reboot(), cleared once re-armed
 
     # -- identity -------------------------------------------------------------
@@ -74,6 +77,13 @@ class Host:
         """Add neighbour entries for every host in *hosts* (self included OK)."""
         for other in hosts:
             self.ip_layer.add_neighbor(other.ip, other.mac)
+
+    def enable_metrics(self, node_metrics) -> None:
+        """Arm telemetry: layers spliced later pick the handle up in
+        ``attached()``; the driver (built before metrics existed) is armed
+        here explicitly."""
+        self.metrics = node_metrics
+        self.driver.arm_metrics(node_metrics)
 
     # -- fault hooks ------------------------------------------------------------
 

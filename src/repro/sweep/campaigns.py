@@ -147,6 +147,9 @@ def run_script_task(task: SweepTask) -> Dict[str, Any]:
     tb.install_virtualwire(
         control=task.param("control", hosts[0].name),
         rll=bool(task.param("rll", False)),
+        capture=bool(task.param("capture", False)),
+        audit=bool(task.param("audit", False)),
+        metrics=bool(task.param("metrics", False)),
         engine_config=EngineConfig(classifier=classifier) if classifier else None,
     )
     for node, rate in sorted(dict(task.param("control_loss", {})).items()):

@@ -151,6 +151,17 @@ class TcpConnection:
         self.timeout_retransmits = 0
         self.duplicate_segments = 0
 
+        # Metric handles (repro.analysis); None keeps the hot path free.
+        metrics = getattr(getattr(layer, "host", None), "metrics", None)
+        self._m_rtt = metrics.histogram("tcp", "rtt_ns") if metrics is not None else None
+        self._m_timeout_rtx = (
+            metrics.counter("tcp", "timeout_retransmits") if metrics is not None else None
+        )
+        self._m_fast_rtx = (
+            metrics.counter("tcp", "fast_retransmits") if metrics is not None else None
+        )
+        self._m_cwnd = metrics.gauge("tcp", "cwnd") if metrics is not None else None
+
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
@@ -324,6 +335,8 @@ class TcpConnection:
             self.peer_window = seg.window
             self._dup_acks = 0
             self.congestion.on_new_ack()
+            if self._m_cwnd is not None:
+                self._m_cwnd.set(self.congestion.cwnd)
             if self._unacked:
                 self._arm_rtx_timer(restart=True)
             else:
@@ -351,6 +364,8 @@ class TcpConnection:
             if seq_le(entry.end_seq, ack):
                 if not entry.retransmitted and not sampled:
                     self.estimator.on_measurement(now - entry.sent_at)
+                    if self._m_rtt is not None:
+                        self._m_rtt.observe(now - entry.sent_at)
                     sampled = True
             else:
                 kept.append(entry)
@@ -360,8 +375,12 @@ class TcpConnection:
         if not self._unacked:
             return
         self.fast_retransmits += 1
+        if self._m_fast_rtx is not None:
+            self._m_fast_rtx.inc()
         self._retransmit_head()
         self.congestion.on_fast_retransmit()
+        if self._m_cwnd is not None:
+            self._m_cwnd.set(self.congestion.cwnd)
         self._arm_rtx_timer(restart=True)
 
     # ------------------------------------------------------------------
@@ -529,9 +548,13 @@ class TcpConnection:
         if not self._unacked:
             return
         self.timeout_retransmits += 1
+        if self._m_timeout_rtx is not None:
+            self._m_timeout_rtx.inc()
         self.estimator.on_timeout()
         self._retransmit_head()
         self.congestion.on_retransmit()
+        if self._m_cwnd is not None:
+            self._m_cwnd.set(self.congestion.cwnd)
         self._arm_rtx_timer()
 
     def _retransmit_head(self) -> None:

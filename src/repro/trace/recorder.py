@@ -95,6 +95,13 @@ class TraceRecorder:
     def render(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
         """Multi-line text dump of *records* (default: everything)."""
         lines = [r.render() for r in (self.records if records is None else records)]
+        if records is None and self.dropped_records:
+            # A saturated capture must never read as a complete trace.
+            lines.append(
+                f"... {self.dropped_records} record"
+                f"{'s' if self.dropped_records != 1 else ''} dropped "
+                f"(capture saturated at {self.max_records})"
+            )
         return "\n".join(lines)
 
     def clear(self) -> None:

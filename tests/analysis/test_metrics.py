@@ -1,0 +1,135 @@
+"""Unit tests for the metrics registry (repro.analysis.metrics)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    merge_values,
+    render_metrics,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.snapshot() == 5
+
+    def test_gauge_tracks_extremes(self):
+        g = Gauge()
+        for v in (3, 1, 7, 2):
+            g.set(v)
+        snap = g.snapshot()
+        assert snap["last"] == 2
+        assert snap["min"] == 1
+        assert snap["max"] == 7
+        assert snap["samples"] == 4
+
+    def test_histogram_log2_buckets(self):
+        h = Histogram()
+        for v in (0, 1, 2, 3, 1024):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == 1030
+        assert snap["min"] == 0
+        assert snap["max"] == 1024
+        # bit_length buckets: 0 -> 0, 1 -> 1, 2/3 -> 2, 1024 -> 11
+        assert snap["buckets"] == {"0": 1, "1": 1, "2": 2, "11": 1}
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        a = reg.node("node1").counter("tcp", "rtx")
+        b = reg.node("node1").counter("tcp", "rtx")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.node("node1").counter("tcp", "rtx")
+        with pytest.raises(TypeError):
+            reg.node("node1").gauge("tcp", "rtx")
+
+    def test_snapshot_is_canonical_json(self):
+        reg = MetricsRegistry()
+        reg.node("node2").counter("b", "x").inc()
+        reg.node("node1").histogram("a", "h").observe(5)
+        reg.node("node1").gauge("z", "g").set(2)
+        snap = reg.snapshot()
+        assert list(snap) == ["node1", "node2"]
+        assert list(snap["node1"]) == ["a.h", "z.g"]
+        # Round-trips through canonical JSON without loss.
+        assert json.loads(json.dumps(snap, sort_keys=True)) == snap
+
+
+class TestMerge:
+    def test_counters_add(self):
+        assert merge_values(3, 4) == 7
+
+    def test_histogram_merge_equals_combined_stream(self):
+        a, b, combined = Histogram(), Histogram(), Histogram()
+        for v in (1, 5, 9):
+            a.observe(v)
+            combined.observe(v)
+        for v in (2, 1000):
+            b.observe(v)
+            combined.observe(v)
+        assert merge_values(a.snapshot(), b.snapshot()) == combined.snapshot()
+
+    def test_gauge_merge(self):
+        a, b = Gauge(), Gauge()
+        a.set(5)
+        b.set(2)
+        b.set(9)
+        merged = merge_values(a.snapshot(), b.snapshot())
+        assert merged == {
+            "type": "gauge",
+            "last": 9,
+            "min": 2,
+            "max": 9,
+            "samples": 3,
+        }
+
+    def test_empty_side_is_identity(self):
+        empty = Histogram().snapshot()
+        full = Histogram()
+        full.observe(7)
+        assert merge_values(empty, full.snapshot()) == full.snapshot()
+        assert merge_values(full.snapshot(), empty) == full.snapshot()
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            merge_values(Gauge().snapshot(), Histogram().snapshot())
+
+    def test_merge_snapshots_unions_nodes(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        reg1.node("node1").counter("tcp", "rtx").inc(2)
+        reg2.node("node1").counter("tcp", "rtx").inc(3)
+        reg2.node("node2").counter("tcp", "rtx").inc(1)
+        merged = merge_snapshots([reg1.snapshot(), reg2.snapshot()])
+        assert merged == {
+            "node1": {"tcp.rtx": 5},
+            "node2": {"tcp.rtx": 1},
+        }
+
+
+class TestRender:
+    def test_render_all_kinds(self):
+        reg = MetricsRegistry()
+        node = reg.node("node1")
+        node.counter("tcp", "rtx").inc(3)
+        node.gauge("tcp", "cwnd").set(8)
+        node.histogram("tcp", "rtt_ns").observe(100)
+        text = render_metrics(reg.snapshot())
+        assert "node1:" in text
+        assert "tcp.rtx" in text and "3" in text
+        assert "last=8" in text
+        assert "count=1" in text

@@ -79,3 +79,42 @@ class TestAuditTrail:
         assert log.dropped == 3
         log.clear()
         assert len(log) == 0
+
+    def test_fault_events_carry_frame_digest(self):
+        tb, report = run_audited()
+        (fault,) = tb.audit_log.select(kind="fault")
+        assert fault.digest  # the journey-correlation join key
+        for condition in tb.audit_log.select(kind="condition"):
+            assert condition.digest == ""
+
+
+class TestSaturationSurfaced:
+    def test_render_trailer_announces_drops(self, sim):
+        log = AuditLog(sim, max_events=2)
+        for i in range(5):
+            log.record("n", "condition", f"event {i}")
+        text = log.render()
+        assert text.endswith("... 3 events dropped (log saturated at 2)")
+        # Pre-saturation events are rendered untouched above the trailer.
+        assert "event 0" in text and "event 1" in text
+
+    def test_report_surfaces_saturation(self):
+        tb, (n1, n2) = make_testbed(2, seed=4, audit=True)
+        tb.audit_log.max_events = 2
+        script = SCRIPT.format(nodes=tb.node_table_fsl())
+
+        def workload():
+            n2.udp.bind(7)
+            sender = n1.udp.bind(0)
+            for i in range(6):
+                tb.sim.after(
+                    (i + 1) * 1_000_000,
+                    lambda: sender.sendto(bytes(20), n2.ip, 7),
+                )
+
+        report = tb.run_scenario(script, workload=workload, max_time=seconds(10))
+        assert report.audit_events_dropped > 0
+        assert report.truncated
+        assert report.summary()["audit_events_dropped"] == report.audit_events_dropped
+        assert "WARNING" in report.render()
+        assert "audit log saturated" in report.render()

@@ -220,6 +220,57 @@ class TestSweep:
         assert "1 tasks" in text_ff
         assert "fail-fast: campaign aborted early" in text_ff
 
+    def test_analyze_renders_fig5_story(self, fig5_path):
+        """The FAE smoke: fig5's dropped SYNACK shows up as a journey
+        with a fault line and a retransmit marker, plus metrics tables."""
+        code, text = run_cli("analyze", fig5_path, "--check")
+        assert code == 0
+        assert "frame journeys" in text
+        assert "journey " in text
+        assert "DROP applied" in text
+        assert "retransmit" in text
+        assert "metrics:" in text
+        assert "tcp.rtt_ns" in text
+        assert "engine.faults_applied" in text
+
+    def test_analyze_json_output(self, fig5_path):
+        import json
+
+        code, text = run_cli("analyze", fig5_path, "--json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["journeys"] and data["metrics"]
+        assert any(j["retransmits"] for j in data["journeys"])
+
+    def test_analyze_jsonl_dump(self, fig5_path, tmp_path):
+        import json
+
+        dump = tmp_path / "journeys.jsonl"
+        code, _ = run_cli("analyze", fig5_path, "--jsonl", str(dump))
+        assert code == 0
+        lines = dump.read_text().splitlines()
+        assert lines
+        for line in lines:
+            journey = json.loads(line)
+            assert journey["digest"] and journey["hops"]
+
+    def test_analyze_saved_row(self, fig5_path, tmp_path):
+        """A saved --json payload renders offline via --row."""
+        import json
+
+        code, text = run_cli("analyze", fig5_path, "--json")
+        saved = tmp_path / "row.json"
+        # Wrap like a canonical sweep row: analyze accepts both shapes.
+        saved.write_text(json.dumps({"payload": json.loads(text)}))
+        code, text = run_cli("analyze", "--row", str(saved))
+        assert code == 0
+        assert "journey " in text and "metrics:" in text
+
+    def test_analyze_without_script_or_row_errors(self):
+        code, text = run_cli("analyze")
+        assert code == 2
+        assert "analyze needs a script" in text
+
     def test_rether_campaign_passes_fig6(self, fig6_path):
         # With the ring installed and a steady feed, Fig 6 passes from the
         # command line alone.

@@ -86,6 +86,26 @@ class TestDifferential:
         assert outcome.rows[0].payload["seed"] == outcome.rows[0].seed
 
 
+class TestCanonicalPayload:
+    def test_summary_dict_keys_are_sorted(self):
+        """Payload dicts must not leak script declaration order: fig5
+        declares SYNACK before ACK and CanTx before CCNT, so an
+        insertion-ordered summary would fail this."""
+        fig5 = tcp_congestion_script(canonical_node_table(2))
+        spec = SweepSpec("canon", base_seed=11).add(
+            "fig5", run_script_task, script=fig5,
+            workload={"kind": "tcp_bulk", "bytes": 32 * 1024},
+        )
+        payload = run_sweep(spec, backend="serial").rows[0].payload
+        counters = payload["final_counters"]
+        assert list(counters) == sorted(counters)
+        assert "SYNACK" in counters  # the fig5 set really was exercised
+        for node, per_node in payload["counters"].items():
+            assert list(per_node) == sorted(per_node), node
+        for node, stats in payload["engine_stats"].items():
+            assert list(stats) == sorted(stats), node
+
+
 class TestFailureRows:
     def test_exception_becomes_deterministic_failed_row(self):
         spec = SweepSpec("fail").add("bad", _raising_task).add("good", _ok_task)

@@ -60,6 +60,14 @@ class TestCapture:
         sim.run()
         assert len(recorder) == 3
         assert recorder.dropped_records > 0
+        # A saturated capture must say so instead of posing as complete.
+        text = recorder.render()
+        assert text.endswith(
+            f"... {recorder.dropped_records} records dropped "
+            f"(capture saturated at 3)"
+        )
+        # Explicit record selections are partial by construction: no trailer.
+        assert "dropped" not in recorder.render(recorder.records)
 
     def test_clear(self, sim):
         recorder, h1, h2 = rig(sim)

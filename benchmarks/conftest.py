@@ -11,14 +11,14 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def sweep_backend():
     """(backend, workers) for campaign fixtures, from the environment.
 
-    ``REPRO_SWEEP_BACKEND`` selects serial/parallel (default parallel);
-    ``REPRO_SWEEP_WORKERS`` pins the pool size (default: up to 4 cores).
-    Either backend yields byte-identical figures — that is the sweep
-    engine's contract — so this only trades wall-clock.
+    ``REPRO_SWEEP_BACKEND`` selects serial/parallel (default parallel).
+    Workers stay ``None``: ``run_sweep`` itself now honours
+    ``REPRO_SWEEP_WORKERS`` (precedence: explicit arg > env > up to 4
+    cores), so the knob no longer needs re-reading here.  Either backend
+    yields byte-identical figures — that is the sweep engine's contract —
+    so this only trades wall-clock.
     """
-    backend = os.environ.get("REPRO_SWEEP_BACKEND", "parallel")
-    workers = os.environ.get("REPRO_SWEEP_WORKERS")
-    return backend, (int(workers) if workers else None)
+    return os.environ.get("REPRO_SWEEP_BACKEND", "parallel"), None
 
 
 def campaign_header(outcome) -> str:

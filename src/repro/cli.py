@@ -212,16 +212,40 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
                     workload={"kind": args.workload},
                     max_time_ns=int(args.max_time * NS_PER_SEC),
                 )
+    journal, resume = args.journal, False
+    if args.resume:
+        if journal is not None and journal != args.resume:
+            raise ReproError(
+                "--journal and --resume point at different files; "
+                "--resume PATH already names the journal"
+            )
+        journal, resume = args.resume, True
     outcome = run_sweep(
         spec,
         backend=args.backend,
         workers=args.workers,
         fail_fast=args.fail_fast,
+        journal=journal,
+        resume=resume,
+        cache_dir=args.cache_dir,
+        task_timeout=args.task_timeout,
     )
     if args.json:
         print(
             json.dumps(
-                [row.canonical() for row in outcome.rows], indent=2, sort_keys=True
+                {
+                    "aborted": outcome.aborted,
+                    "backend": outcome.backend,
+                    "cached_rows": outcome.cached_rows,
+                    "interrupted": outcome.interrupted,
+                    "passed": outcome.passed,
+                    "resumed": outcome.resumed,
+                    "rows": [row.canonical() for row in outcome.rows],
+                    "timed_out": outcome.timed_out,
+                    "workers": outcome.workers,
+                },
+                indent=2,
+                sort_keys=True,
             ),
             file=out,
         )
@@ -400,7 +424,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="virtual-time cap per run, in seconds (default 60)",
     )
     sweep.add_argument(
-        "--json", action="store_true", help="print canonical result rows as JSON"
+        "--json",
+        action="store_true",
+        help="print the campaign as JSON: canonical rows plus "
+        "resumed/cached_rows/timed_out/aborted accounting",
+    )
+    sweep.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append every completed row to a crash-safe JSONL journal "
+        "(CRC-checked, fsync'd per row; see docs/SWEEP.md)",
+    )
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume an interrupted campaign from its journal at PATH "
+        "(implies --journal PATH); only missing cells execute",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache: clean cells replay from DIR, "
+        "only dirty cells execute",
+    )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-task wall-clock deadline in seconds; a hung task is "
+        "retried with backoff, then recorded as a TIMEOUT row",
     )
     sweep.set_defaults(handler=cmd_sweep)
 

@@ -19,6 +19,8 @@ though each node touches only a subset of the entries.
 from __future__ import annotations
 
 import enum
+import hashlib
+import re
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -514,16 +516,10 @@ class CompiledProgram:
             "actions": len(self.actions),
         }
 
-    def checksum(self) -> int:
-        """CRC-32 over a canonical rendering of all six tables.
-
-        Carried in the INIT control frame (field ``b``) and re-computed by
-        the receiving engine before the tables are armed, so a corrupted
-        table shipment is NACKed instead of silently producing a scenario
-        that tests the wrong thing.  Every constituent has a deterministic,
-        value-based ``repr``, making the checksum stable across processes
-        for equal programs.
-        """
+    def _canonical_rendering(self) -> bytes:
+        """Deterministic byte rendering of all six tables.  Every
+        constituent has a value-based ``repr``, so equal programs render
+        identically in every process and Python build."""
         parts: List[str] = [self.scenario_name, str(self.timeout_ns)]
         parts.extend(repr(e) for e in self.filters.entries)
         parts.extend(repr(e) for e in self.nodes.entries)
@@ -532,4 +528,32 @@ class CompiledProgram:
         parts.extend(repr(c) for c in self.conditions)
         parts.extend(repr(a) for a in self.actions)
         parts.extend(self.variables)
-        return zlib.crc32("\x1f".join(parts).encode("utf-8"))
+        return "\x1f".join(parts).encode("utf-8")
+
+    def checksum(self) -> int:
+        """CRC-32 over a canonical rendering of all six tables.
+
+        Carried in the INIT control frame (field ``b``) and re-computed by
+        the receiving engine before the tables are armed, so a corrupted
+        table shipment is NACKed instead of silently producing a scenario
+        that tests the wrong thing.
+        """
+        return zlib.crc32(self._canonical_rendering())
+
+    #: diagnostic source-line attributes, masked out of the content hash so
+    #: whitespace-only script edits do not change a program's address.
+    _LINE_ATTR = re.compile(rb"\bline=\d+")
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the canonical table rendering.
+
+        The program's content address: two compilations of the same script
+        text (even in different processes) share it, and any table-visible
+        edit changes it.  Source line numbers are masked first — they are
+        diagnostics, not behaviour — so reformatting a script does not move
+        its address.  The sweep result cache and campaign journal key rows
+        on it (``repro.sweep.spec.task_fingerprint``), so editing one
+        scenario dirties exactly the cells that compiled from it.
+        """
+        rendering = self._LINE_ATTR.sub(b"line=_", self._canonical_rendering())
+        return hashlib.sha256(rendering).hexdigest()

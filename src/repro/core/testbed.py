@@ -88,6 +88,19 @@ class Testbed:
             cls._compile_cache.popitem(last=False)
         return program
 
+    @classmethod
+    def compile_fingerprint(
+        cls, script: str, scenario: Optional[str] = None
+    ) -> str:
+        """Content hash of the program the compile cache would hand out
+        for ``(script, scenario)`` — the sweep result cache's program key.
+
+        Derived from the compiled tables, not the raw text, so formatting-
+        only edits (whitespace, comments) do not dirty cached campaign
+        cells; any table-visible change does.
+        """
+        return cls.compile_cached(script, scenario).content_hash()
+
     def __init__(self, seed: int = 0, costs: Optional[CostModel] = None) -> None:
         self.sim = Simulator(seed=seed)
         self.topology = Topology(self.sim)

@@ -19,13 +19,24 @@ back deterministically (see docs/SWEEP.md)::
     assert outcome.passed, outcome.render()
 """
 
+from .cache import ResultCache
 from .campaigns import (
     fig7_point_task,
     fig8_point_task,
     run_script_task,
+    sleep_task,
     tcp_variant_task,
 )
-from .runner import BACKENDS, DEFAULT_RETRIES, default_workers, run_sweep
+from .journal import JournalError, JournalState, JournalWriter, read_journal
+from .runner import (
+    BACKENDS,
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT_BACKOFF,
+    DEFAULT_TIMEOUT_RETRIES,
+    Watchdog,
+    default_workers,
+    run_sweep,
+)
 from .spec import (
     SweepError,
     SweepOutcome,
@@ -33,21 +44,32 @@ from .spec import (
     SweepSpec,
     SweepTask,
     derive_seed,
+    task_fingerprint,
 )
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_RETRIES",
+    "DEFAULT_TIMEOUT_BACKOFF",
+    "DEFAULT_TIMEOUT_RETRIES",
+    "JournalError",
+    "JournalState",
+    "JournalWriter",
+    "ResultCache",
     "SweepError",
     "SweepOutcome",
     "SweepResult",
     "SweepSpec",
     "SweepTask",
+    "Watchdog",
     "default_workers",
     "derive_seed",
     "fig7_point_task",
     "fig8_point_task",
+    "read_journal",
     "run_script_task",
     "run_sweep",
+    "sleep_task",
+    "task_fingerprint",
     "tcp_variant_task",
 ]

@@ -18,6 +18,7 @@ the regression suite and the differential tests all run through it.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Any, Dict, List, Mapping
 
 from ..bench.harness import RECEIVER_PORT, SENDER_PORT
@@ -168,6 +169,17 @@ def run_script_task(task: SweepTask) -> Dict[str, Any]:
     payload = report.summary()
     payload["seed"] = seed
     return payload
+
+
+def sleep_task(task: SweepTask) -> Dict[str, Any]:
+    """Sleep ``sleep_s`` of *real* time, then return a trivial payload.
+
+    A deliberately hung "simulation" — the watchdog's test and CI-smoke
+    cell: with ``run_sweep(..., task_timeout=...)`` it must land as a
+    deterministic ``TIMEOUT`` row instead of stalling the campaign.
+    """
+    time.sleep(float(task.param("sleep_s", 3600.0)))
+    return {"slept_s": float(task.param("sleep_s", 3600.0)), "passed": True}
 
 
 def tcp_variant_task(task: SweepTask) -> Dict[str, Any]:

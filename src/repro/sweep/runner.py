@@ -14,16 +14,30 @@ every task still in flight is retried — once, each in its own fresh
 single-worker pool so one poisoned task cannot re-kill its neighbours —
 and a task that dies again is recorded as ``FAILED`` with the crash note
 instead of sinking the campaign.
+
+Durability (docs/SWEEP.md, "Durable campaigns"): ``run_sweep`` can journal
+every row to an append-only CRC-checked file as it lands
+(:mod:`repro.sweep.journal`), resume an interrupted campaign from that
+journal, and serve clean cells from a content-addressed result cache
+(:mod:`repro.sweep.cache`).  A per-task wall-clock watchdog turns hung
+tasks into deterministic ``TIMEOUT`` rows after bounded retry-with-backoff
+instead of stalling the campaign, and SIGINT aborts gracefully: the
+journal is already flushed per-row, and the outcome truthfully reports
+``aborted``/``interrupted`` covering exactly the journaled rows.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .spec import (
     SweepError,
@@ -32,15 +46,38 @@ from .spec import (
     SweepTask,
     coerce_jsonable,
     spec_meta,
+    task_fingerprint,
     tasks_of,
 )
 
 #: Bounded retry budget for pool-breaking worker deaths.
 DEFAULT_RETRIES = 1
 
+#: Bounded retry budget for watchdog deadline hits.
+DEFAULT_TIMEOUT_RETRIES = 1
+
+#: Base of the exponential backoff between watchdog retries, in seconds.
+DEFAULT_TIMEOUT_BACKOFF = 0.05
+
+#: Environment knob for the pool size; an explicit ``workers=`` argument
+#: always wins (precedence: argument > env > core-count default).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
 
 def default_workers() -> int:
-    """Worker-count default: every core up to 4 (campaigns are CPU-bound)."""
+    """Worker-count default: ``REPRO_SWEEP_WORKERS`` when set, else every
+    core up to 4 (campaigns are CPU-bound)."""
+    env = os.environ.get(WORKERS_ENV)
+    if env is not None and env != "":
+        try:
+            value = int(env)
+        except ValueError:
+            raise SweepError(
+                f"{WORKERS_ENV} must be an integer >= 1, got {env!r}"
+            ) from None
+        if value < 1:
+            raise SweepError(f"{WORKERS_ENV} must be an integer >= 1, got {env!r}")
+        return value
     return max(1, min(4, os.cpu_count() or 1))
 
 
@@ -53,21 +90,113 @@ def _pool_context():
     return None
 
 
-def execute_task(task: SweepTask) -> SweepResult:
-    """Run one task to a result row.  Never raises: exceptions become
-    deterministic ``FAILED`` rows (identical under either backend)."""
-    started = time.perf_counter()
+def _worker_init() -> None:
+    """Pool-worker initializer: the *parent* owns SIGINT.  A terminal
+    Ctrl-C is delivered to the whole process group; workers must not race
+    the parent's graceful abort with their own KeyboardInterrupt (which
+    would turn deterministic rows into nondeterministic FAILED rows)."""
     try:
-        payload = task.fn(task)
-        if payload is None:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Task watchdog
+# ---------------------------------------------------------------------------
+
+
+class TaskDeadlineExceeded(BaseException):
+    """Raised inside a task when its wall-clock deadline expires.
+
+    Deliberately a :class:`BaseException`: a task function's blanket
+    ``except Exception`` must not be able to swallow the watchdog.
+    """
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Per-task wall-clock policy: deadline + bounded retry-with-backoff.
+
+    Armed *inside* the executing process (SIGALRM interval timer), so it
+    works identically on the serial backend and in pool workers, and a
+    hung worker frees itself instead of needing to be shot from outside.
+    On platforms without ``SIGALRM`` the watchdog degrades to a no-op.
+    """
+
+    timeout: float
+    retries: int = DEFAULT_TIMEOUT_RETRIES
+    backoff: float = DEFAULT_TIMEOUT_BACKOFF
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Arm a one-shot wall-clock deadline around the body; raises
+    :class:`TaskDeadlineExceeded` in the running frame on expiry."""
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield False
+        return
+
+    def _expire(signum, frame):  # noqa: ANN001 — signal handler signature
+        raise TaskDeadlineExceeded()
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def timeout_error(watchdog: Watchdog) -> str:
+    """The deterministic ``error`` string of a TIMEOUT row."""
+    return f"task exceeded {watchdog.timeout:g}s wall-clock deadline"
+
+
+def execute_task(
+    task: SweepTask, watchdog: Optional[Watchdog] = None
+) -> SweepResult:
+    """Run one task to a result row.  Never raises (except for
+    :class:`KeyboardInterrupt`, which must reach the backend's graceful
+    abort): exceptions become deterministic ``FAILED`` rows and watchdog
+    expiries — after bounded retry-with-backoff — deterministic
+    ``TIMEOUT`` rows, identical under either backend."""
+    started = time.perf_counter()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _deadline(watchdog.timeout if watchdog else None):
+                payload = task.fn(task)
+            if payload is None:
+                payload = {}
+            payload = coerce_jsonable(dict(payload))
+            status, error, detail = SweepResult.OK, "", ""
+            break
+        except TaskDeadlineExceeded:
+            if watchdog and attempts <= watchdog.retries:
+                time.sleep(watchdog.backoff * (2 ** (attempts - 1)))
+                continue
             payload = {}
-        payload = coerce_jsonable(dict(payload))
-        status, error, detail = SweepResult.OK, "", ""
-    except Exception as exc:  # noqa: BLE001 — isolation is the contract
-        payload = {}
-        status = SweepResult.FAILED
-        error = f"{type(exc).__name__}: {exc}"
-        detail = traceback.format_exc()
+            status = SweepResult.TIMEOUT
+            error = timeout_error(watchdog)
+            detail = (
+                f"task {task.index} ({task.name!r}) hit its "
+                f"{watchdog.timeout:g}s deadline on all {attempts} "
+                f"attempt(s) (retry backoff base {watchdog.backoff:g}s)"
+            )
+            break
+        except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            payload = {}
+            status = SweepResult.FAILED
+            error = f"{type(exc).__name__}: {exc}"
+            detail = traceback.format_exc()
+            break
     return SweepResult(
         index=task.index,
         name=task.name,
@@ -76,11 +205,14 @@ def execute_task(task: SweepTask) -> SweepResult:
         payload=payload,
         error=error,
         error_detail=detail,
+        attempts=attempts,
         wall_seconds=time.perf_counter() - started,
     )
 
 
-def _crash_row(task: SweepTask, exc: BaseException, attempts: int) -> SweepResult:
+def _crash_row(
+    task: SweepTask, exc: BaseException, attempts: int, wall_seconds: float
+) -> SweepResult:
     return SweepResult(
         index=task.index,
         name=task.name,
@@ -92,35 +224,68 @@ def _crash_row(task: SweepTask, exc: BaseException, attempts: int) -> SweepResul
             f"died after {attempts} attempt(s): {exc!r}"
         ),
         attempts=attempts,
+        # Measured from submission to the last failed attempt: an upper
+        # bound on the work lost, never a silent 0.0.
+        wall_seconds=wall_seconds,
     )
 
 
 def _is_failure(row: SweepResult) -> bool:
-    """The fail-fast trigger: a crashed task or a failed scenario verdict."""
+    """The fail-fast trigger: a crashed/timed-out task or a failed
+    scenario verdict."""
     return not row.ok or row.payload.get("passed") is False
 
 
+#: Backends call this as each row lands (journal/cache hook).
+RowSink = Callable[[SweepResult], None]
+
+#: What a backend reports: merged rows, abort decision, interrupt flag.
+BackendRun = Tuple[Dict[int, SweepResult], bool, bool]
+
+
 def _run_serial(
-    tasks: List[SweepTask], workers: int, retries: int, fail_fast: bool
-) -> List[SweepResult]:
-    rows: List[SweepResult] = []
-    for task in tasks:
-        row = execute_task(task)
-        rows.append(row)
-        if fail_fast and _is_failure(row):
-            break  # stop enumerating: later tasks are never started
-    return rows
+    tasks: List[SweepTask],
+    workers: int,
+    retries: int,
+    fail_fast: bool,
+    watchdog: Optional[Watchdog],
+    on_row: RowSink,
+) -> BackendRun:
+    rows: Dict[int, SweepResult] = {}
+    aborted = interrupted = False
+    try:
+        for task in tasks:
+            row = execute_task(task, watchdog)
+            rows[task.index] = row
+            on_row(row)
+            if fail_fast and _is_failure(row):
+                aborted = True
+                break  # stop enumerating: later tasks are never started
+    except KeyboardInterrupt:
+        # The in-flight task's partial row is discarded: the outcome
+        # covers exactly the rows already journaled.
+        aborted = interrupted = True
+    return rows, aborted, interrupted
 
 
 def _run_parallel(
-    tasks: List[SweepTask], workers: int, retries: int, fail_fast: bool
-) -> List[SweepResult]:
+    tasks: List[SweepTask],
+    workers: int,
+    retries: int,
+    fail_fast: bool,
+    watchdog: Optional[Watchdog],
+    on_row: RowSink,
+) -> BackendRun:
     rows: Dict[int, SweepResult] = {}
-    casualties: List[tuple] = []  # (task, exc) pairs from a broken pool
-    aborting = False
+    casualties: List[Tuple[SweepTask, BaseException, float]] = []
+    aborted = interrupted = False
     ctx = _pool_context()
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        futures = {pool.submit(execute_task, task): task for task in tasks}
+    pool = ProcessPoolExecutor(
+        max_workers=workers, mp_context=ctx, initializer=_worker_init
+    )
+    submitted_at = time.perf_counter()
+    try:
+        futures = {pool.submit(execute_task, task, watchdog): task for task in tasks}
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -131,38 +296,66 @@ def _run_parallel(
                 try:
                     row = future.result()
                 except BaseException as exc:  # worker death broke the pool
-                    casualties.append((task, exc))
+                    casualties.append(
+                        (task, exc, time.perf_counter() - submitted_at)
+                    )
                     continue
                 rows[task.index] = row
+                on_row(row)
                 if fail_fast and _is_failure(row):
-                    aborting = True
-            if aborting and pending:
+                    aborted = True
+            if aborted and pending:
                 # Cancel everything not yet started; tasks already running
                 # finish and keep their rows (a row, once begun, is never
                 # half-reported).
                 for future in pending:
                     future.cancel()
+        pool.shutdown(wait=True)
+    except KeyboardInterrupt:
+        # Graceful abort: revoke everything not yet started and do not
+        # block on in-flight tasks — the journal already holds every
+        # completed row, and the outcome will say so truthfully.
+        aborted = interrupted = True
+        pool.shutdown(wait=False, cancel_futures=True)
+        return rows, aborted, interrupted
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
     # Bounded retry, one task per fresh single-worker pool: the genuine
     # crasher dies alone; innocent casualties of the shared pool complete.
     # An aborting campaign skips the retries — it is already being torn
     # down — and records the crash rows as-is.
-    for task, first_exc in sorted(casualties, key=lambda pair: pair[0].index):
+    for task, first_exc, crash_wall in sorted(
+        casualties, key=lambda entry: entry[0].index
+    ):
+        retry_started = time.perf_counter()
         attempts = 1
         row: Optional[SweepResult] = None
-        while not aborting and attempts <= retries:
+        while not aborted and attempts <= retries:
             attempts += 1
             try:
-                with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as solo:
-                    row = solo.submit(execute_task, task).result()
+                with ProcessPoolExecutor(
+                    max_workers=1, mp_context=ctx, initializer=_worker_init
+                ) as solo:
+                    row = solo.submit(execute_task, task, watchdog).result()
+                break
+            except KeyboardInterrupt:
+                aborted = interrupted = True
                 break
             except BaseException as exc:  # noqa: BLE001
                 first_exc = exc
         if row is None:
-            row = _crash_row(task, first_exc, attempts)
+            row = _crash_row(
+                task,
+                first_exc,
+                attempts,
+                crash_wall + (time.perf_counter() - retry_started),
+            )
         else:
             row.attempts = attempts
         rows[task.index] = row
-    return [rows[task.index] for task in tasks if task.index in rows]
+        on_row(row)
+    return rows, aborted, interrupted
 
 
 BACKENDS = {
@@ -177,6 +370,12 @@ def run_sweep(
     workers: Optional[int] = None,
     retries: int = DEFAULT_RETRIES,
     fail_fast: bool = False,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    cache_dir: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    timeout_retries: int = DEFAULT_TIMEOUT_RETRIES,
+    timeout_backoff: float = DEFAULT_TIMEOUT_BACKOFF,
 ) -> SweepOutcome:
     """Execute a campaign and merge its rows deterministically.
 
@@ -187,9 +386,23 @@ def run_sweep(
 
     *fail_fast* stops the campaign at the first failed row: the serial
     backend stops enumerating, the pool backend cancels every task not yet
-    started (in-flight tasks finish and keep their rows).  A fail-fast
-    outcome with ``aborted=True`` covers only a subset of the grid, so the
-    cross-backend byte-identity guarantee applies to full runs only.
+    started (in-flight tasks finish and keep their rows).  ``aborted`` is
+    the backend's own abort decision — it is True whenever fail-fast
+    tripped or the run was interrupted, even when the failing row was the
+    final task.
+
+    Durability knobs:
+
+    *journal* appends every completed row (CRC-checked, fsync'd) to a
+    JSONL file; *resume* replays an existing journal at that path first
+    and executes only the missing cells.  *cache_dir* consults a
+    content-addressed result cache before executing each cell and stores
+    every fresh ``OK`` row.  *task_timeout* arms a per-task wall-clock
+    watchdog (*timeout_retries* retries with exponential *timeout_backoff*
+    between attempts) that records hung tasks as deterministic ``TIMEOUT``
+    rows.  Replayed and cached rows re-enter the task-order merge
+    unchanged, so a resumed or warm-cache outcome's canonical bytes are
+    identical to a cold uninterrupted run's.
     """
     try:
         run = BACKENDS[backend]
@@ -197,6 +410,20 @@ def run_sweep(
         raise SweepError(
             f"unknown sweep backend {backend!r} (expected one of {sorted(BACKENDS)})"
         ) from None
+    if retries < 0:
+        raise SweepError(
+            f"retries must be >= 0, got {retries} (a negative value would "
+            f"silently disable the solo-pool retry)"
+        )
+    watchdog: Optional[Watchdog] = None
+    if task_timeout is not None:
+        if task_timeout <= 0:
+            raise SweepError(f"task_timeout must be > 0 seconds, got {task_timeout}")
+        if timeout_retries < 0:
+            raise SweepError(f"timeout_retries must be >= 0, got {timeout_retries}")
+        if timeout_backoff < 0:
+            raise SweepError(f"timeout_backoff must be >= 0, got {timeout_backoff}")
+        watchdog = Watchdog(float(task_timeout), timeout_retries, timeout_backoff)
     tasks = tasks_of(spec_or_tasks)
     if backend == "serial":
         effective_workers = 1
@@ -206,7 +433,95 @@ def run_sweep(
         raise SweepError(f"workers must be >= 1, got {effective_workers}")
     meta = spec_meta(spec_or_tasks)
     started = time.perf_counter()
-    rows = run(tasks, effective_workers, retries, fail_fast)
+
+    # ------------------------------------------------------------------
+    # Durability plumbing: journal replay, cache probe
+    # ------------------------------------------------------------------
+    fingerprints: Dict[int, str] = {}
+    if journal is not None or cache_dir is not None:
+        fingerprints = {task.index: task_fingerprint(task) for task in tasks}
+
+    prefilled: Dict[int, SweepResult] = {}
+    resumed = 0
+    writer = None
+    if journal is not None:
+        from .journal import JournalWriter, read_journal
+
+        exists = os.path.exists(journal) and os.path.getsize(journal) > 0
+        if resume and exists:
+            state = read_journal(journal)
+            if state.meta is not None and (
+                state.meta.get("spec_name") != meta["name"]
+                or state.meta.get("base_seed") != meta["base_seed"]
+            ):
+                raise SweepError(
+                    f"journal {journal!r} records campaign "
+                    f"{state.meta.get('spec_name')!r} (base_seed "
+                    f"{state.meta.get('base_seed')}), not {meta['name']!r} "
+                    f"(base_seed {meta['base_seed']}) — refusing to mix"
+                )
+            for index, (fingerprint, row) in state.rows.items():
+                if fingerprints.get(index) == fingerprint:
+                    row.cached = False
+                    prefilled[index] = row
+                    resumed += 1
+        elif exists and not resume:
+            raise SweepError(
+                f"journal {journal!r} already exists — resume it "
+                f"(resume=True / --resume) or remove the file"
+            )
+        writer = JournalWriter(journal, append=resume and exists)
+        if resume and exists:
+            writer.write_resume(resumed)
+        else:
+            writer.write_campaign(meta["name"], meta["base_seed"], len(tasks))
+
+    cache = None
+    cached_rows = 0
+    pending = [task for task in tasks if task.index not in prefilled]
+    if cache_dir is not None:
+        from .cache import ResultCache
+
+        cache = ResultCache(cache_dir)
+        still_pending: List[SweepTask] = []
+        for task in pending:
+            hit = cache.get(task, fingerprints[task.index])
+            if hit is not None:
+                prefilled[task.index] = hit
+                cached_rows += 1
+                if writer is not None:
+                    writer.write_row(hit, fingerprints[task.index])
+            else:
+                still_pending.append(task)
+        pending = still_pending
+
+    # ------------------------------------------------------------------
+    # Execute the remaining cells
+    # ------------------------------------------------------------------
+    tasks_by_index = {task.index: task for task in tasks}
+
+    def on_row(row: SweepResult) -> None:
+        if writer is not None:
+            writer.write_row(row, fingerprints[row.index])
+        if cache is not None and not row.cached:
+            cache.put(tasks_by_index[row.index], row, fingerprints[row.index])
+
+    if fail_fast and any(_is_failure(row) for row in prefilled.values()):
+        # A replayed/cached failure already decides the campaign.
+        rows_by_index: Dict[int, SweepResult] = {}
+        aborted, interrupted = True, False
+    else:
+        rows_by_index, aborted, interrupted = run(
+            pending, effective_workers, retries, fail_fast, watchdog, on_row
+        )
+
+    merged = {**prefilled, **rows_by_index}
+    rows = [merged[task.index] for task in tasks if task.index in merged]
+    if writer is not None:
+        writer.write_end(
+            aborted=aborted, interrupted=interrupted, rows=len(rows)
+        )
+        writer.close()
     return SweepOutcome(
         spec_name=meta["name"],
         base_seed=meta["base_seed"],
@@ -214,5 +529,9 @@ def run_sweep(
         workers=effective_workers,
         rows=rows,
         wall_seconds=time.perf_counter() - started,
-        aborted=fail_fast and len(rows) < len(tasks),
+        aborted=aborted,
+        interrupted=interrupted,
+        resumed=resumed,
+        cached_rows=cached_rows,
+        timed_out=sum(1 for row in rows if row.status == SweepResult.TIMEOUT),
     )

@@ -25,6 +25,7 @@ Determinism contract (docs/SWEEP.md):
 from __future__ import annotations
 
 import enum
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
@@ -89,6 +90,7 @@ class SweepResult:
 
     OK = "OK"
     FAILED = "FAILED"
+    TIMEOUT = "TIMEOUT"
 
     index: int
     name: str
@@ -101,6 +103,8 @@ class SweepResult:
     error_detail: str = ""
     attempts: int = 1
     wall_seconds: float = 0.0
+    #: row was served by the result cache, not executed (non-canonical).
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -123,6 +127,37 @@ class SweepResult:
             "error": self.error,
         }
 
+    def to_record(self) -> Dict[str, Any]:
+        """The full on-disk projection (journal rows, cache entries):
+        canonical fields plus the real-world accounting, so a replayed row
+        reconstructs exactly."""
+        record = self.canonical()
+        record["error_detail"] = self.error_detail
+        record["attempts"] = self.attempts
+        record["wall_seconds"] = self.wall_seconds
+        record["cached"] = self.cached
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "SweepResult":
+        """Rebuild a row from :meth:`to_record` output (journal replay /
+        cache hit).  Raises :class:`SweepError` on malformed records."""
+        try:
+            return cls(
+                index=int(record["index"]),
+                name=str(record["name"]),
+                seed=int(record["seed"]),
+                status=str(record["status"]),
+                payload=dict(record["payload"]),
+                error=str(record.get("error", "")),
+                error_detail=str(record.get("error_detail", "")),
+                attempts=int(record.get("attempts", 1)),
+                wall_seconds=float(record.get("wall_seconds", 0.0)),
+                cached=bool(record.get("cached", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SweepError(f"malformed result record: {exc!r}") from None
+
 
 @dataclass
 class SweepOutcome:
@@ -134,9 +169,19 @@ class SweepOutcome:
     workers: int
     rows: List[SweepResult] = field(default_factory=list)
     wall_seconds: float = 0.0
-    #: fail-fast tripped: enumeration stopped early, ``rows`` is a prefix
-    #: (plus any already-in-flight tasks) of the full campaign.
+    #: the backend decided to stop early — fail-fast tripped (even on the
+    #: final task) or the campaign was interrupted.  ``rows`` may be a
+    #: subset of the grid.
     aborted: bool = False
+    #: the parent was interrupted (SIGINT): ``rows`` covers exactly the
+    #: journaled/completed rows at the moment of interruption.
+    interrupted: bool = False
+    #: rows replayed from a resume journal instead of executed.
+    resumed: int = 0
+    #: rows served by the result cache instead of executed.
+    cached_rows: int = 0
+    #: rows recorded as ``TIMEOUT`` by the task watchdog.
+    timed_out: int = 0
 
     @property
     def failures(self) -> List[SweepResult]:
@@ -148,8 +193,11 @@ class SweepOutcome:
 
     @property
     def passed(self) -> bool:
-        """Every row completed, and no scenario payload reported failure."""
-        return not self.failures
+        """The campaign ran to completion, every row completed, and no
+        scenario payload reported failure.  An aborted (fail-fast or
+        interrupted) campaign never passes: its rows are a subset of the
+        grid, and a subset cannot vouch for the whole."""
+        return not self.aborted and not self.failures
 
     @property
     def total_task_wall_seconds(self) -> float:
@@ -188,18 +236,30 @@ class SweepOutcome:
                 if extra:
                     detail += f" ({extra})"
             else:
-                detail = f"FAILED ({row.error})"
+                detail = f"{row.status} ({row.error})"
+            if row.cached:
+                detail += " [cached]"
             lines.append(
                 f"[{row.index:>3}] {row.name:<36} {detail:<28} "
                 f"{format_time(row.virtual_ns):>12} virtual  "
                 f"{row.wall_seconds:>7.2f}s wall  x{row.attempts}"
             )
         verdict = "ALL OK" if self.passed else f"{len(self.failures)} FAILED"
-        if self.aborted:
+        if self.interrupted:
+            verdict += " (interrupted: campaign aborted, journaled rows only)"
+        elif self.aborted:
             verdict += " (fail-fast: campaign aborted early)"
+        extras = []
+        if self.resumed:
+            extras.append(f"{self.resumed} resumed")
+        if self.cached_rows:
+            extras.append(f"{self.cached_rows} cached")
+        if self.timed_out:
+            extras.append(f"{self.timed_out} timed out")
         lines.append(
-            f"{'-' * 40} {verdict}: {len(self.rows)} tasks, "
-            f"{self.backend}({self.workers}w), "
+            f"{'-' * 40} {verdict}: {len(self.rows)} tasks"
+            + (f" ({', '.join(extras)})" if extras else "")
+            + f", {self.backend}({self.workers}w), "
             f"campaign {self.wall_seconds:.2f}s wall "
             f"(task sum {self.total_task_wall_seconds:.2f}s, "
             f"{format_time(self.total_virtual_ns)} virtual)"
@@ -323,6 +383,44 @@ def coerce_jsonable(value: Any, path: str = "payload") -> Any:
     )
 
 
+def task_fingerprint(task: "SweepTask") -> str:
+    """Content-addressed identity of one campaign cell.
+
+    SHA-256 over the canonical JSON of ``(fn module.qualname, index, name,
+    params, seed)``, where a :class:`~repro.core.tables.CompiledProgram`
+    param is replaced by its :meth:`content_hash` (the compile-cache key's
+    content digest) so the fingerprint tracks the *script text*, not the
+    object identity.  This is both the result-cache key and the journal's
+    per-row identity check: a cell whose script, knobs, seed or task
+    function changed gets a new fingerprint and is re-executed; everything
+    else replays.
+
+    Raises :class:`SweepError` when a param is neither JSON-able nor a
+    compiled program — such tasks cannot be journaled or cached.
+    """
+    from ..core.tables import CompiledProgram  # local: avoid import cycle
+
+    params: Dict[str, Any] = {}
+    for key, value in task.params.items():
+        if isinstance(value, CompiledProgram):
+            params[key] = {"__program__": value.content_hash()}
+        else:
+            params[key] = coerce_jsonable(value, f"params.{key}")
+    fn = task.fn
+    body = json.dumps(
+        {
+            "fn": f"{fn.__module__}.{getattr(fn, '__qualname__', fn.__name__)}",
+            "index": task.index,
+            "name": task.name,
+            "params": params,
+            "seed": task.seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
 def tasks_of(spec_or_tasks: Any) -> List[SweepTask]:
     """Accept a :class:`SweepSpec` or an explicit task list."""
     if isinstance(spec_or_tasks, SweepSpec):
@@ -349,4 +447,5 @@ __all__: Iterable[str] = [
     "SweepTask",
     "coerce_jsonable",
     "derive_seed",
+    "task_fingerprint",
 ]

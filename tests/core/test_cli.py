@@ -183,11 +183,61 @@ class TestSweep:
             "sweep", fig5_path, "--seeds", "0", "--backend", "serial", "--json"
         )
         assert code == 0
-        rows = json.loads(text)
+        outcome = json.loads(text)
+        assert outcome["passed"] is True
+        assert outcome["aborted"] is False
+        assert outcome["resumed"] == 0
+        assert outcome["cached_rows"] == 0
+        assert outcome["timed_out"] == 0
+        rows = outcome["rows"]
         assert len(rows) == 1
         assert rows[0]["status"] == "OK"
         assert rows[0]["payload"]["passed"] is True
         assert set(rows[0]) == {"index", "name", "seed", "status", "payload", "error"}
+
+    def test_journal_resume_and_cache_flags(self, fig5_path, tmp_path):
+        import json
+
+        journal = tmp_path / "campaign.jsonl"
+        cache = tmp_path / "cache"
+        base = (
+            "sweep", fig5_path, "--seeds", "0,1", "--backend", "serial",
+            "--cache-dir", str(cache), "--json",
+        )
+        code, text = run_cli(*base, "--journal", str(journal))
+        assert code == 0
+        cold = json.loads(text)
+        assert cold["cached_rows"] == 0 and cold["resumed"] == 0
+        # A second run must resume (all rows replay from the journal).
+        code, text = run_cli(*base, "--resume", str(journal))
+        assert code == 0
+        resumed = json.loads(text)
+        assert resumed["resumed"] == 2
+        assert resumed["rows"] == cold["rows"]
+        # A warm-cache run with a fresh journal serves every cell from disk.
+        code, text = run_cli(*base, "--journal", str(tmp_path / "j2.jsonl"))
+        assert code == 0
+        warm = json.loads(text)
+        assert warm["cached_rows"] == 2
+        assert warm["rows"] == cold["rows"]
+
+    def test_journal_without_resume_refuses_overwrite(self, fig5_path, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        base = ("sweep", fig5_path, "--seeds", "0", "--backend", "serial",
+                "--journal", str(journal))
+        assert run_cli(*base)[0] == 0
+        code, text = run_cli(*base)
+        assert code == 2
+        assert "resume" in text
+
+    def test_conflicting_journal_and_resume_paths(self, fig5_path, tmp_path):
+        code, text = run_cli(
+            "sweep", fig5_path, "--backend", "serial",
+            "--journal", str(tmp_path / "a.jsonl"),
+            "--resume", str(tmp_path / "b.jsonl"),
+        )
+        assert code == 2
+        assert "different files" in text
 
     def test_failing_campaign_exits_nonzero(self, fig6_path):
         # no Rether ring, no traffic: fig6's STOP never fires -> FAIL

@@ -1,0 +1,65 @@
+"""Subprocess helper for the interruption tests (``test_durability.py``).
+
+Runs a fixed 10-cell campaign and prints one machine-readable summary
+line.  The first two cells are instant so a journal exists quickly; the
+rest sleep a little real time each, giving the parent test a wide window
+to SIGINT / SIGKILL this process mid-campaign.
+
+Usage: python _durable_helper.py BACKEND [--journal PATH | --resume PATH]
+"""
+
+import sys
+import time
+
+from repro.sweep import SweepSpec, run_sweep
+
+TOTAL = 10
+SLOW_SLEEP_S = 0.35
+
+
+def grid_task(task):
+    if task.index >= 2:
+        time.sleep(SLOW_SLEEP_S)
+    return {"index": task.index, "seed": task.seed, "passed": True}
+
+
+def build_spec() -> SweepSpec:
+    spec = SweepSpec("durable", base_seed=9)
+    for i in range(TOTAL):
+        spec.add(f"t{i}", grid_task)
+    return spec
+
+
+def main() -> int:
+    backend = sys.argv[1]
+    journal = resume = None
+    if len(sys.argv) > 3:
+        if sys.argv[2] == "--journal":
+            journal = sys.argv[3]
+        elif sys.argv[2] == "--resume":
+            journal, resume = sys.argv[3], True
+    outcome = run_sweep(
+        build_spec(),
+        backend=backend,
+        workers=2,
+        journal=journal,
+        resume=bool(resume),
+    )
+    print(
+        "RESULT "
+        + " ".join(
+            [
+                f"rows={len(outcome.rows)}",
+                f"resumed={outcome.resumed}",
+                f"aborted={outcome.aborted}",
+                f"interrupted={outcome.interrupted}",
+                f"canonical={outcome.canonical_bytes().hex()}",
+            ]
+        ),
+        flush=True,
+    )
+    return 0 if outcome.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

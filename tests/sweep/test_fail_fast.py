@@ -61,6 +61,27 @@ class TestSerialFailFast:
         assert outcome.passed
         assert not outcome.aborted
 
+    def test_failure_on_final_task_still_reports_aborted(self):
+        """The abort flag is the backend's own decision, not a row-count
+        inference: a failure on the very last task leaves nothing to skip
+        yet the campaign still stopped early in spirit — aborted=True."""
+        outcome = run_sweep(
+            _campaign(fail_at=7, total=8), backend="serial", fail_fast=True
+        )
+        assert len(outcome.rows) == 8  # every task ran...
+        assert outcome.aborted  # ...but fail-fast still tripped
+        assert not outcome.passed
+
+    def test_failure_on_final_task_parallel(self):
+        outcome = run_sweep(
+            _campaign(fail_at=7, total=8),
+            backend="parallel",
+            workers=1,
+            fail_fast=True,
+        )
+        assert len(outcome.rows) == 8
+        assert outcome.aborted
+
     def test_without_flag_all_rows_run(self):
         outcome = run_sweep(_campaign(fail_at=2), backend="serial")
         assert len(outcome.rows) == 8

@@ -1,0 +1,206 @@
+"""Journal format tests: CRC framing, torn-tail replay, resume semantics."""
+
+import os
+
+import pytest
+
+from repro.sweep import (
+    JournalError,
+    JournalWriter,
+    SweepResult,
+    SweepSpec,
+    read_journal,
+    run_sweep,
+    task_fingerprint,
+)
+from repro.sweep.journal import decode_record, encode_record
+
+
+def _ok_task(task):
+    return {"index": task.index, "seed": task.seed, "passed": True}
+
+
+def _failing_task(task):
+    return {"index": task.index, "passed": False}
+
+
+def _spec(total=4, name="journaled", bad_at=None):
+    spec = SweepSpec(name, base_seed=5)
+    for i in range(total):
+        spec.add(f"t{i}", _failing_task if i == bad_at else _ok_task)
+    return spec
+
+
+def _row(index=0, **overrides):
+    fields = dict(
+        index=index,
+        name=f"t{index}",
+        seed=123,
+        status=SweepResult.OK,
+        payload={"passed": True},
+    )
+    fields.update(overrides)
+    return SweepResult(**fields)
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        record = {"type": "row", "index": 3, "payload": {"a": [1, 2]}}
+        assert decode_record(encode_record(record)) == record
+
+    def test_crc_flip_detected(self):
+        line = encode_record({"type": "row", "index": 3})
+        tampered = line.replace('"index":3', '"index":4')
+        with pytest.raises(JournalError, match="CRC"):
+            decode_record(tampered)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(JournalError, match="undecodable"):
+            decode_record("not json at all")
+        with pytest.raises(JournalError, match="CRC-carrying"):
+            decode_record('{"no": "crc"}')
+
+
+class TestWriterReader:
+    def test_rows_replay_with_full_accounting(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write_campaign("spec", 5, 2)
+            writer.write_row(
+                _row(0, wall_seconds=1.5, attempts=2, error_detail="note"),
+                "fp0",
+            )
+            writer.write_row(
+                _row(1, status=SweepResult.TIMEOUT, payload={}, error="late"),
+                "fp1",
+            )
+            writer.write_end(aborted=False, interrupted=False, rows=2)
+        state = read_journal(path)
+        assert state.meta["spec_name"] == "spec"
+        assert state.meta["base_seed"] == 5
+        assert state.meta["tasks"] == 2
+        assert not state.torn_tail
+        assert state.end["rows"] == 2
+        fingerprint, row = state.rows[0]
+        assert fingerprint == "fp0"
+        assert row.wall_seconds == 1.5 and row.attempts == 2
+        assert row.error_detail == "note"
+        assert row.canonical() == _row(0).canonical()
+        assert state.rows[1][1].status == SweepResult.TIMEOUT
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write_campaign("spec", 0, 3)
+            writer.write_row(_row(0), "fp0")
+            writer.write_row(_row(1), "fp1")
+        # Simulate kill -9 mid-write: chop the final line in half.
+        with open(path, "r+", encoding="utf-8") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(content[: len(content) - 25])
+        state = read_journal(path)
+        assert state.torn_tail
+        assert list(state.rows) == [0]  # the torn row is discarded
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write_campaign("spec", 0, 2)
+            writer.write_row(_row(0), "fp0")
+            writer.write_row(_row(1), "fp1")
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[1] = lines[1][:-10] + "corrupted}"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="not a torn tail"):
+            read_journal(path)
+
+    def test_append_heals_a_torn_tail(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write_row(_row(0), "fp0")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": tr')  # no newline: torn tail
+        with JournalWriter(path, append=True) as writer:
+            writer.write_row(_row(1), "fp1")
+        state = read_journal(path)
+        # Row 1 must not be glued onto the torn fragment.
+        assert 1 in state.rows
+        assert 0 in state.rows
+
+
+class TestRunSweepJournal:
+    def test_every_row_is_journaled_as_it_lands(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        outcome = run_sweep(_spec(4), backend="serial", journal=path)
+        state = read_journal(path)
+        assert len(state.rows) == 4
+        assert state.end["aborted"] is False
+        replayed = [state.rows[i][1].canonical() for i in range(4)]
+        assert replayed == [row.canonical() for row in outcome.rows]
+        # Fingerprints in the journal match the live tasks.
+        tasks = _spec(4).tasks()
+        for task in tasks:
+            assert state.rows[task.index][0] == task_fingerprint(task)
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        run_sweep(_spec(2), backend="serial", journal=path)
+        with pytest.raises(Exception, match="resume"):
+            run_sweep(_spec(2), backend="serial", journal=path)
+
+    def test_resume_replays_and_appends(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        cold = run_sweep(_spec(4), backend="serial", journal=path)
+        again = run_sweep(_spec(4), backend="serial", journal=path, resume=True)
+        assert again.resumed == 4
+        assert again.canonical_bytes() == cold.canonical_bytes()
+        state = read_journal(path)
+        assert state.resumes == 1
+        assert state.end["rows"] == 4
+
+    def test_resume_of_missing_journal_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        outcome = run_sweep(_spec(2), backend="serial", journal=path, resume=True)
+        assert outcome.resumed == 0
+        assert len(outcome.rows) == 2
+        assert os.path.exists(path)
+
+    def test_resume_rejects_a_different_campaign(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        run_sweep(_spec(2, name="alpha"), backend="serial", journal=path)
+        with pytest.raises(Exception, match="refusing to mix"):
+            run_sweep(
+                _spec(2, name="beta"), backend="serial", journal=path, resume=True
+            )
+
+    def test_resume_reexecutes_fingerprint_mismatches(self, tmp_path):
+        """Editing a cell (here: its task fn) dirties exactly that cell."""
+        path = str(tmp_path / "j.jsonl")
+        run_sweep(_spec(4), backend="serial", journal=path)
+        edited = SweepSpec("journaled", base_seed=5)
+        for i in range(4):
+            edited.add(f"t{i}", _failing_task if i == 2 else _ok_task)
+        outcome = run_sweep(edited, backend="serial", journal=path, resume=True)
+        assert outcome.resumed == 3
+        assert outcome.rows[2].payload["passed"] is False
+        cold = run_sweep(edited, backend="serial")
+        assert outcome.canonical_bytes() == cold.canonical_bytes()
+
+    def test_aborted_end_record_then_resume_completes(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        aborted = run_sweep(
+            _spec(6, bad_at=2), backend="serial", journal=path, fail_fast=True
+        )
+        assert aborted.aborted and len(aborted.rows) == 3
+        state = read_journal(path)
+        assert state.end["aborted"] is True
+        finished = run_sweep(_spec(6, bad_at=2), backend="serial",
+                             journal=path, resume=True)
+        assert finished.resumed == 3
+        assert len(finished.rows) == 6
+        assert not finished.aborted
+        cold = run_sweep(_spec(6, bad_at=2), backend="serial")
+        assert finished.canonical_bytes() == cold.canonical_bytes()

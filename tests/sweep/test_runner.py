@@ -153,6 +153,7 @@ class TestCrashIsolation:
         assert not dead.ok
         assert dead.error.startswith("worker died:")
         assert dead.attempts == 2  # one bounded retry, then recorded
+        assert dead.wall_seconds > 0.0  # time lost is measured, never 0.0
         for name in ("ok0", "ok1", "ok2"):
             assert by_name[name].ok, outcome.render()
 
@@ -179,6 +180,47 @@ class TestRunSweepValidation:
         with pytest.raises(SweepError, match="workers"):
             run_sweep(SweepSpec("s"), backend="parallel", workers=0)
 
+    def test_negative_retries_rejected(self):
+        """retries=-1 used to silently disable the solo-pool retry; it is
+        now a campaign-spec error."""
+        with pytest.raises(SweepError, match="retries must be >= 0"):
+            run_sweep(SweepSpec("s"), backend="parallel", retries=-1)
+
+    def test_zero_retries_allowed(self):
+        spec = SweepSpec("s").add("a", _ok_task)
+        outcome = run_sweep(spec, backend="serial", retries=0)
+        assert outcome.rows[0].ok
+
+
+class TestWorkersEnvKnob:
+    """Precedence: explicit argument > REPRO_SWEEP_WORKERS > core default."""
+
+    def test_env_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        spec = SweepSpec("env").add("a", _ok_task)
+        outcome = run_sweep(spec, backend="parallel")
+        assert outcome.workers == 3
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        spec = SweepSpec("env").add("a", _ok_task)
+        outcome = run_sweep(spec, backend="parallel", workers=2)
+        assert outcome.workers == 2
+
+    def test_serial_backend_ignores_the_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        spec = SweepSpec("env").add("a", _ok_task)
+        assert run_sweep(spec, backend="serial").workers == 1
+
+    @pytest.mark.parametrize("value", ["0", "-2", "four"])
+    def test_invalid_env_value_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", value)
+        spec = SweepSpec("env").add("a", _ok_task)
+        with pytest.raises(SweepError, match="REPRO_SWEEP_WORKERS"):
+            run_sweep(spec, backend="parallel")
+
+
+class TestTaskListInput:
     def test_task_list_accepted(self):
         tasks = SweepSpec("s", base_seed=2).add("a", _ok_task).tasks()
         outcome = run_sweep(tasks, backend="serial")

@@ -16,7 +16,12 @@ benchmarks/results/fig8.txt.
 
 import pytest
 
-from conftest import campaign_header, save_table, sweep_backend
+from conftest import (
+    campaign_header,
+    record_frames_trajectory,
+    save_table,
+    sweep_backend,
+)
 from repro.bench.fig8 import (
     MODES,
     Fig8Point,
@@ -65,6 +70,7 @@ def figure(baseline_rtt):
         for row in outcome.rows
     ]
     save_table("fig8", campaign_header(outcome) + "\n" + render_table(points))
+    record_frames_trajectory(outcome, "fig8")
     return points
 
 

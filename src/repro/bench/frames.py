@@ -1,0 +1,515 @@
+"""Frames-per-second trajectory for the frame hot path (``BENCH_FRAMES.json``).
+
+Two benches, both driven by the Fig 7 bulk-transfer traffic:
+
+``fig7_hotpath`` (the canonical codec measurement) replays the wire frames
+captured from one Fig 7 cell — RLL-encapsulated TCP data, TCP acks and RLL
+pure acks under the 25-filter/25-action configuration — through exactly the
+per-frame work each codec performs in the pipeline: RLL decap, twice-per-hook
+classification, endpoint lookup, IP+TCP parse with checksum verification,
+and the transmit-side re-serialisation back to wire bytes (asserted equal to
+the captured frame, so the replay is itself a differential check).  Because
+the replay strips the shared simulator/TCP-state-machine cost, its
+frames/sec ratio between ``frame_codec="fast"`` and ``"reference"`` isolates
+the hot path this module's trajectory pins — the ISSUE 7 ≥3x acceptance pair.
+
+``fig7_bulk`` times one *end-to-end* Fig 7 cell in wall clock, normalised by
+the frames the two device drivers moved.  Frame counts are a virtual-time
+fact and byte-identical across codecs (tests/differential/), so this entry
+tracks whole-system throughput (event loop + TCP + engine included); its
+codec ratio is naturally smaller than the hotpath ratio because the shared
+simulator cost dilutes it (docs/PERF.md discusses the split).
+
+``BENCH_FRAMES.json`` at the repo root is an append-only JSON list.  Its
+first two entries record the reference and fast codecs of ``fig7_hotpath``
+on the same host, and every benchmark run appends more entries, so per-PR
+regressions are visible as a trajectory.  CI runs
+``python -m repro.bench.frames --codec both --min-speedup 2.4 --check ...``:
+``--min-speedup`` gates the fast/reference ratio (host-independent) and
+``--check`` fails when frames/sec drops more than 20% below the last
+same-bench/same-codec entry (override with ``--min-ratio``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..core.classify import make_classifier
+from ..core.tables import CompiledProgram
+from ..core.testbed import Testbed
+from ..errors import ScenarioError
+from ..net.fastpath import (
+    encode_ipv4_frame,
+    encode_tcp_segment,
+    parse_ipv4_frame,
+    parse_tcp_segment,
+)
+from ..net.frame import ETHERTYPE_IPV4, ETHERTYPE_RLL, EthernetFrame
+from ..net.ip import PROTO_TCP, Ipv4Packet
+from ..net.tcp_segment import TcpSegment
+from ..rll.frames import (
+    KIND_ACK,
+    RllFrame,
+    decap_data_fast,
+    encap_ack_fast,
+    encap_data_fast,
+)
+from ..sim import NS_PER_SEC, ms, seconds
+from ..workloads.bulk import BulkReceiver, PacedSender
+from .fig7 import _tcp_script
+from .harness import RECEIVER_PORT, SENDER_PORT, two_node_testbed
+
+#: Default virtual pumping time: long enough that per-frame work dominates
+#: script compilation and testbed setup in the wall-clock figure.
+DEFAULT_DURATION_NS = int(0.2 * NS_PER_SEC)
+DEFAULT_OFFERED_MBPS = 90.0
+#: The canonical trajectory file, at the repo root.
+DEFAULT_TRAJECTORY = "BENCH_FRAMES.json"
+
+
+@dataclass
+class FramesResult:
+    """One wall-clock measurement of the frame hot path."""
+
+    bench: str
+    frame_codec: str
+    frames: int
+    wall_s: float
+    frames_per_sec: float
+    goodput_mbps: float
+    offered_mbps: float
+    duration_ns: int
+    seed: int
+
+
+def measure_frames_point(
+    frame_codec: str = "fast",
+    offered_mbps: float = DEFAULT_OFFERED_MBPS,
+    duration_ns: int = DEFAULT_DURATION_NS,
+    seed: int = 0,
+) -> FramesResult:
+    """Run one Fig 7 bulk-transfer cell and time it in wall clock.
+
+    Frames are counted at the two device drivers (tx + rx on both hosts):
+    every data, ack, RLL and control frame that crossed the hot path,
+    whichever codec moved it.
+    """
+    started = time.perf_counter()
+    tb, node1, node2 = two_node_testbed(
+        seed=seed, medium="hub", install_vw=True, rll=True, frame_codec=frame_codec
+    )
+    receiver = BulkReceiver(node2, RECEIVER_PORT)
+    senders = {}
+
+    def workload() -> None:
+        senders["s"] = PacedSender(
+            node1,
+            node2.ip,
+            RECEIVER_PORT,
+            offered_bps=offered_mbps * 1e6,
+            duration_ns=duration_ns,
+            local_port=SENDER_PORT,
+        )
+
+    tb.run_scenario(
+        _tcp_script(tb.node_table_fsl()),
+        workload=workload,
+        max_time=duration_ns + seconds(5),
+        inactivity_ns=ms(200),
+    )
+    wall_s = time.perf_counter() - started
+    frames = sum(
+        node.driver.tx_frames + node.driver.rx_frames for node in (node1, node2)
+    )
+    return FramesResult(
+        bench="fig7_bulk",
+        frame_codec=frame_codec,
+        frames=frames,
+        wall_s=round(wall_s, 4),
+        frames_per_sec=round(frames / wall_s, 1),
+        goodput_mbps=round(receiver.goodput_bps() / 1e6, 3),
+        offered_mbps=offered_mbps,
+        duration_ns=duration_ns,
+        seed=seed,
+    )
+
+
+# -- the hotpath replay bench -----------------------------------------------
+
+#: Virtual capture time for the replay stream: a couple thousand frames.
+HOTPATH_CAPTURE_NS = int(0.05 * NS_PER_SEC)
+#: Replay passes per codec; the stream is identical for both, so repeats
+#: only narrow the wall-clock jitter.
+HOTPATH_REPEATS = 3
+
+
+def capture_fig7_stream(
+    seed: int = 0,
+    offered_mbps: float = DEFAULT_OFFERED_MBPS,
+    duration_ns: int = HOTPATH_CAPTURE_NS,
+) -> Tuple[List[bytes], CompiledProgram]:
+    """Run one short Fig 7 cell and record every data-plane wire frame.
+
+    The tap sits at the NICs' transmit entry (below the drivers), so the
+    stream holds exactly the on-wire bytes in transmission order:
+    RLL-encapsulated TCP data and acks plus RLL pure acks.  Control-plane
+    frames are filtered out — they cross the engine's control path, not
+    the per-frame hot path this bench times.  Wire bytes are codec-
+    independent (tests/differential/), so one capture serves both codecs.
+    """
+    tb, node1, node2 = two_node_testbed(
+        seed=seed, medium="hub", install_vw=True, rll=True, frame_codec="fast"
+    )
+    BulkReceiver(node2, RECEIVER_PORT)
+    stream: List[bytes] = []
+    for node in (node1, node2):
+        nic = node.driver.nic
+        def tap(frame_bytes, _transmit=nic.transmit):
+            stream.append(frame_bytes)
+            _transmit(frame_bytes)
+        nic.transmit = tap
+
+    def workload() -> None:
+        PacedSender(
+            node1,
+            node2.ip,
+            RECEIVER_PORT,
+            offered_bps=offered_mbps * 1e6,
+            duration_ns=duration_ns,
+            local_port=SENDER_PORT,
+        )
+
+    script = _tcp_script(tb.node_table_fsl())
+    tb.run_scenario(
+        script,
+        workload=workload,
+        max_time=duration_ns + seconds(5),
+        inactivity_ns=ms(200),
+    )
+    program = Testbed.compile_cached(script)
+
+    def is_data_plane(frame: bytes) -> bool:
+        ethertype = (frame[12] << 8) | frame[13]
+        if ethertype == ETHERTYPE_IPV4:
+            return True
+        if ethertype != ETHERTYPE_RLL:
+            return False  # raw control-plane frame
+        if frame[14] == KIND_ACK:
+            return True
+        # RLL DATA also carries control frames; keep only IPv4 payloads.
+        return ((frame[20] << 8) | frame[21]) == ETHERTYPE_IPV4
+
+    data_plane = [frame for frame in stream if is_data_plane(frame)]
+    if not data_plane:
+        raise ScenarioError("fig7 capture produced no data-plane frames")
+    return data_plane, program
+
+
+def _replay_reference(stream: List[bytes], classifier, nodes) -> None:
+    """One pass of the reference per-frame pipeline over *stream*.
+
+    Per frame, the object path's full journey: Ethernet parse, RLL shim
+    parse + unwrap + inner re-serialisation (what the reference RLL layer
+    hands upward), classification at both engine hooks, endpoint lookup,
+    verified IPv4+TCP parse, then the transmit side's object-tree
+    re-serialisation back to wire bytes — checked against the capture.
+    """
+    for data in stream:
+        outer = EthernetFrame.from_bytes(data)
+        if outer.ethertype == ETHERTYPE_RLL:
+            shim = RllFrame.parse(outer.payload)
+            if shim.kind == KIND_ACK:
+                out = RllFrame.pure_ack(shim.ack).wrap(outer.dst, outer.src).to_bytes()
+                if out != data:
+                    raise ScenarioError("reference RLL ack round-trip diverged")
+                continue
+            inner_bytes = shim.unwrap(outer).to_bytes()
+        else:
+            shim = None
+            inner_bytes = data
+        classifier.classify(inner_bytes)  # sender-side hook
+        classifier.classify(inner_bytes)  # receiver-side hook
+        nodes.by_mac_bytes(inner_bytes[6:12])
+        nodes.by_mac_bytes(inner_bytes[0:6])
+        packet = Ipv4Packet.from_bytes(inner_bytes[14:], verify=True)
+        if packet.protocol != PROTO_TCP:
+            continue
+        seg = TcpSegment.from_bytes(packet.payload, packet.src, packet.dst, verify=True)
+        rebuilt = Ipv4Packet(
+            src=packet.src,
+            dst=packet.dst,
+            protocol=packet.protocol,
+            payload=seg.to_bytes(packet.src, packet.dst),
+            ttl=packet.ttl,
+            tos=packet.tos,
+            ident=packet.ident,
+            dont_fragment=packet.dont_fragment,
+        )
+        inner2 = EthernetFrame(outer.dst, outer.src, ETHERTYPE_IPV4, rebuilt.to_bytes())
+        if shim is not None:
+            out = (
+                RllFrame.data_for(inner2, shim.seq, shim.ack)
+                .wrap(outer.dst, outer.src)
+                .to_bytes()
+            )
+        else:
+            out = inner2.to_bytes()
+        if out != data:
+            raise ScenarioError("reference frame round-trip diverged")
+
+
+def _replay_fast(stream: List[bytes], classifier, nodes) -> None:
+    """One pass of the fast per-frame pipeline over *stream*.
+
+    The same journey as :func:`_replay_reference` through the zero-copy
+    codec: splice-based RLL decap, flattened classification, lazy verified
+    parses, and the fast one-shot encoders on the transmit side — checked
+    byte-for-byte against the capture.
+    """
+    for data in stream:
+        if ((data[12] << 8) | data[13]) == ETHERTYPE_RLL:
+            if data[14] == KIND_ACK:
+                ack = (data[18] << 8) | data[19]
+                out = encap_ack_fast(data[:6], data[6:12], ack)
+                if out != data:
+                    raise ScenarioError("fast RLL ack round-trip diverged")
+                continue
+            shim_seq = (data[16] << 8) | data[17]
+            shim_ack = (data[18] << 8) | data[19]
+            inner_bytes = decap_data_fast(data)
+            rll = True
+        else:
+            rll = False
+            inner_bytes = data
+        classifier.classify(inner_bytes)  # sender-side hook
+        classifier.classify(inner_bytes)  # receiver-side hook
+        nodes.by_mac_bytes(inner_bytes[6:12])
+        nodes.by_mac_bytes(inner_bytes[0:6])
+        packet = parse_ipv4_frame(inner_bytes)
+        if packet.protocol != PROTO_TCP:
+            continue
+        seg = parse_tcp_segment(packet.payload, packet.src, packet.dst)
+        frame2 = encode_ipv4_frame(
+            inner_bytes[:6],
+            inner_bytes[6:12],
+            packet.src.packed,
+            packet.dst.packed,
+            packet.protocol,
+            packet.ident,
+            encode_tcp_segment(seg, packet.src, packet.dst),
+        )
+        out = encap_data_fast(frame2, shim_seq, shim_ack) if rll else frame2
+        if out != data:
+            raise ScenarioError("fast frame round-trip diverged")
+
+
+def measure_hotpath_point(
+    frame_codec: str = "fast",
+    stream: Optional[List[bytes]] = None,
+    program: Optional[CompiledProgram] = None,
+    repeats: int = HOTPATH_REPEATS,
+    offered_mbps: float = DEFAULT_OFFERED_MBPS,
+    duration_ns: int = HOTPATH_CAPTURE_NS,
+    seed: int = 0,
+) -> FramesResult:
+    """Time the per-frame hot path over the captured Fig 7 stream.
+
+    Pass the same (*stream*, *program*) from :func:`capture_fig7_stream`
+    to both codecs so the frame counts are identical and only the codec
+    varies; when omitted a fresh capture is made.
+    """
+    if stream is None or program is None:
+        stream, program = capture_fig7_stream(
+            seed=seed, offered_mbps=offered_mbps, duration_ns=duration_ns
+        )
+    kind = "compiled" if frame_codec == "fast" else "indexed"
+    classifier = make_classifier(program.filters, kind)
+    replay = _replay_fast if frame_codec == "fast" else _replay_reference
+    nodes = program.nodes
+    started = time.perf_counter()
+    for _ in range(repeats):
+        replay(stream, classifier, nodes)
+    wall_s = time.perf_counter() - started
+    frames = len(stream) * repeats
+    return FramesResult(
+        bench="fig7_hotpath",
+        frame_codec=frame_codec,
+        frames=frames,
+        wall_s=round(wall_s, 4),
+        frames_per_sec=round(frames / wall_s, 1),
+        goodput_mbps=0.0,
+        offered_mbps=offered_mbps,
+        duration_ns=duration_ns,
+        seed=seed,
+    )
+
+
+# -- the trajectory file ----------------------------------------------------
+
+
+def trajectory_entry(result: FramesResult, note: str = "") -> dict:
+    """A JSON-able trajectory entry: the measurement plus host provenance."""
+    entry = {
+        "utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": platform.node(),
+        "python": platform.python_version(),
+        **asdict(result),
+    }
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def load_trajectory(path) -> list:
+    path = Path(path)
+    if not path.exists():
+        return []
+    return json.loads(path.read_text())
+
+
+def append_entry(path, entry: dict) -> None:
+    path = Path(path)
+    entries = load_trajectory(path)
+    entries.append(entry)
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def last_entry(
+    path, bench: str = "fig7_hotpath", frame_codec: str = "fast"
+) -> Optional[dict]:
+    """The most recent trajectory entry for (*bench*, *frame_codec*)."""
+    for entry in reversed(load_trajectory(path)):
+        if entry.get("bench") == bench and entry.get("frame_codec") == frame_codec:
+            return entry
+    return None
+
+
+def check_regression(
+    path, result: FramesResult, min_ratio: float = 0.8
+) -> "tuple[bool, str]":
+    """Compare *result* to the last same-codec trajectory entry.
+
+    Returns ``(ok, message)``; *ok* is False when frames/sec fell below
+    ``min_ratio`` of the recorded figure.  A missing baseline passes (the
+    first run on a fresh trajectory has nothing to regress against).
+    """
+    baseline = last_entry(path, bench=result.bench, frame_codec=result.frame_codec)
+    if baseline is None:
+        return True, f"no {result.frame_codec} baseline in {path}; nothing to compare"
+    if baseline.get("host") != platform.node():
+        return True, (
+            f"baseline host {baseline.get('host', '?')} differs from "
+            f"{platform.node()}; wall-clock comparison skipped "
+            "(--min-speedup still gates the codec ratio)"
+        )
+    recorded = float(baseline["frames_per_sec"])
+    ratio = result.frames_per_sec / recorded
+    message = (
+        f"{result.bench}[{result.frame_codec}]: {result.frames_per_sec:,.0f} frames/s "
+        f"vs recorded {recorded:,.0f} ({ratio:.2f}x, floor {min_ratio:.2f}x, "
+        f"baseline host {baseline.get('host', '?')})"
+    )
+    return ratio >= min_ratio, message
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure fig7 frame hot-path frames/sec; maintain BENCH_FRAMES.json"
+    )
+    parser.add_argument(
+        "--bench", choices=("hotpath", "bulk"), default="hotpath",
+        help="hotpath replays captured fig7 frames through the codec "
+        "pipeline; bulk times the end-to-end fig7 cell",
+    )
+    parser.add_argument(
+        "--codec", choices=("fast", "reference", "both"), default="fast"
+    )
+    parser.add_argument("--offered-mbps", type=float, default=DEFAULT_OFFERED_MBPS)
+    parser.add_argument(
+        "--duration-ns", type=int, default=None,
+        help="virtual pumping time (bulk) or capture time (hotpath)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=HOTPATH_REPEATS,
+        help="hotpath replay passes per codec",
+    )
+    parser.add_argument(
+        "--append", metavar="PATH", default=None,
+        help="append each measurement to this trajectory file",
+    )
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="fail when frames/sec drops below --min-ratio of the last "
+        "same-bench, same-codec entry in this trajectory file",
+    )
+    parser.add_argument("--min-ratio", type=float, default=0.8)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="with --codec both: fail when fast/reference frames/sec "
+        "falls below this ratio (host-independent gate)",
+    )
+    parser.add_argument("--note", default="")
+    args = parser.parse_args(argv)
+
+    codecs = ("reference", "fast") if args.codec == "both" else (args.codec,)
+    results = {}
+    if args.bench == "hotpath":
+        duration_ns = args.duration_ns or HOTPATH_CAPTURE_NS
+        stream, program = capture_fig7_stream(
+            seed=args.seed, offered_mbps=args.offered_mbps, duration_ns=duration_ns
+        )
+        for codec in codecs:
+            results[codec] = measure_hotpath_point(
+                frame_codec=codec,
+                stream=stream,
+                program=program,
+                repeats=args.repeats,
+                offered_mbps=args.offered_mbps,
+                duration_ns=duration_ns,
+                seed=args.seed,
+            )
+    else:
+        for codec in codecs:
+            results[codec] = measure_frames_point(
+                frame_codec=codec,
+                offered_mbps=args.offered_mbps,
+                duration_ns=args.duration_ns or DEFAULT_DURATION_NS,
+                seed=args.seed,
+            )
+    for codec, result in results.items():
+        goodput = (
+            f" (goodput {result.goodput_mbps:.1f} Mbps)" if result.goodput_mbps else ""
+        )
+        print(
+            f"{result.bench}[{codec}]: {result.frames:,} frames in "
+            f"{result.wall_s:.2f}s = {result.frames_per_sec:,.0f} frames/s{goodput}"
+        )
+        if args.append:
+            append_entry(args.append, trajectory_entry(result, note=args.note))
+    status = 0
+    if len(results) == 2:
+        speedup = results["fast"].frames_per_sec / results["reference"].frames_per_sec
+        print(f"fast/reference speedup: {speedup:.2f}x")
+        if args.min_speedup is not None and speedup < args.min_speedup:
+            print(f"REGRESSION speedup {speedup:.2f}x below floor {args.min_speedup:.2f}x")
+            status = 1
+    if args.check:
+        for result in results.values():
+            ok, message = check_regression(args.check, result, args.min_ratio)
+            print(("OK " if ok else "REGRESSION ") + message)
+            if not ok:
+                status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

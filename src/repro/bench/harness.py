@@ -29,6 +29,7 @@ def two_node_testbed(
     rll: bool = False,
     costs: Optional[CostModel] = None,
     engine_config: Optional[EngineConfig] = None,
+    frame_codec: str = "fast",
     **medium_kwargs,
 ) -> Tuple[Testbed, Host, Host]:
     """Build the canonical 2-host testbed.
@@ -38,9 +39,10 @@ def two_node_testbed(
     VirtualWire is installed on both hosts with node1 as the control node,
     optionally with the RLL below the engines and with *engine_config*
     applied to every engine (e.g. to pin the reference classifier when
-    checking Fig 8 parity).
+    checking Fig 8 parity).  *frame_codec* selects the fast or reference
+    header codec for the whole testbed (an explicit *engine_config* wins).
     """
-    tb = Testbed(seed=seed, costs=costs)
+    tb = Testbed(seed=seed, costs=costs, frame_codec=frame_codec)
     node1 = tb.add_host("node1")
     node2 = tb.add_host("node2")
     factory = {

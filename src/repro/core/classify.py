@@ -22,6 +22,11 @@ Two implementations share those semantics (see docs/CLASSIFIER.md):
   ``(packet_type, scanned)`` pair the linear scan would have produced, so
   the virtual-time cost model — and the Fig 8 linear-growth reproduction —
   is unchanged while the real Python-side work becomes ~O(1) per packet.
+* :class:`CompiledClassifier` — the index plus a **flattened
+  match-program** per entry (tuples of ``(offset, end, mask, pattern)``
+  ops) so the candidate walk runs without per-tuple attribute access or
+  bindings-dict allocation.  Selected automatically by the engine when the
+  testbed runs the fast frame codec (docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -261,6 +266,90 @@ class IndexedClassifier(ClassifierBase):
 
 
 # ---------------------------------------------------------------------------
+# The flattened match-program
+# ---------------------------------------------------------------------------
+
+#: One flattened op: (offset, end, mask, pattern).  mask is None for an
+#: exact compare; for masked compares the pattern is stored pre-masked.
+_MatchOp = Tuple[int, int, Optional[int], int]
+
+
+def _compile_entry(entry: FilterEntry) -> Optional[Tuple[_MatchOp, ...]]:
+    """Flatten one entry into a tuple of match ops, or None if it binds VARs.
+
+    VAR-bearing entries keep the interpreted :meth:`ClassifierBase._match`
+    path — binding order and first-match equality semantics live there —
+    so the bytecode only covers the (overwhelmingly common) exact and
+    masked tuples, where a plain predicate loop suffices.
+    """
+    ops: List[_MatchOp] = []
+    for tup in entry.tuples:
+        if isinstance(tup.pattern, VarRef):
+            return None
+        if tup.mask is not None:
+            ops.append((tup.offset, tup.offset + tup.nbytes, tup.mask, tup.pattern & tup.mask))
+        else:
+            ops.append((tup.offset, tup.offset + tup.nbytes, None, tup.pattern))
+    return tuple(ops)
+
+
+def _compile_table(table: FilterTable) -> List[Optional[Tuple[_MatchOp, ...]]]:
+    """Per-position match programs, aligned with the table's file order."""
+    return [_compile_entry(entry) for entry in table.entries]
+
+
+class CompiledClassifier(IndexedClassifier):
+    """Index-pruned candidates matched by flattened bytecode.
+
+    Same candidate chains as :class:`IndexedClassifier`, but each non-VAR
+    entry is pre-flattened into a tuple of ``(offset, end, mask, pattern)``
+    ops evaluated in a tight local loop — no :class:`FilterTuple` attribute
+    access, no ``isinstance`` checks, and no per-attempt bindings dict on
+    the hot path.  Entries with VAR patterns fall back to the shared
+    interpreted matcher, so observable behaviour (winner, VAR bindings,
+    scanned counts, stats) stays identical to both other implementations.
+    """
+
+    kind = "compiled"
+
+    def __init__(self, filters: FilterTable) -> None:
+        super().__init__(filters)
+        self._programs = _compile_table(filters)
+        self._programs_version = filters.version
+
+    def classify(self, data: bytes) -> Tuple[Optional[str], int]:
+        index = self._index
+        if index.version != self.filters.version:
+            index = self._index = FilterIndex.for_table(self.filters)
+        if self._programs_version != self.filters.version:
+            self._programs = _compile_table(self.filters)
+            self._programs_version = self.filters.version
+        programs = self._programs
+        n = len(data)
+        for position, entry in index.chain_for(data):
+            self.entries_examined_total += 1
+            ops = programs[position]
+            if ops is None:  # VAR entry: interpreted semantics
+                bindings = self._match(entry, data)
+                if bindings is not None:
+                    return self._matched(entry, bindings, position + 1)
+                continue
+            for offset, end, mask, pattern in ops:
+                if end > n:
+                    break
+                value = int.from_bytes(data[offset:end], "big")
+                if (value != pattern) if mask is None else (value & mask != pattern):
+                    break
+            else:
+                return self._matched(entry, _NO_BINDINGS, position + 1)
+        return self._unmatched(index.size)
+
+
+#: shared empty-bindings dict for bytecode matches (never mutated).
+_NO_BINDINGS: Dict[str, int] = {}
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -268,6 +357,7 @@ class IndexedClassifier(ClassifierBase):
 CLASSIFIER_KINDS: Dict[str, type] = {
     Classifier.kind: Classifier,
     IndexedClassifier.kind: IndexedClassifier,
+    CompiledClassifier.kind: CompiledClassifier,
 }
 
 

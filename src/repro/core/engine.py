@@ -27,6 +27,7 @@ from typing import Callable, Dict, Optional
 from ..analysis.journey import frame_digest
 from ..errors import ControlChecksumError, ControlPlaneError, EngineError
 from ..net.bytesutil import read_u16
+from ..net.fastpath import FRAME_CODEC_KINDS
 from ..net.frame import ETHERTYPE_VW_CONTROL, EthernetFrame
 from ..stack.layers import FrameLayer
 from .classify import CLASSIFIER_KINDS, ClassifierBase, make_classifier
@@ -47,15 +48,29 @@ class EngineConfig:
     ``"linear"`` keeps the paper-faithful reference scan.  Both return
     identical results and identical *scanned* counts, so the virtual-time
     cost model is unaffected by the choice (docs/CLASSIFIER.md).
+
+    *frame_codec* selects the per-frame header codec for the whole
+    testbed's hot path: ``"fast"`` (default) uses the allocation-lean
+    :mod:`repro.net.fastpath` encoders/parsers plus the engine's
+    allocation-free dispatch; ``"reference"`` keeps the object-per-frame
+    reference path as the differential oracle.  Wire bytes, reports,
+    audit trails and virtual time are byte-identical either way, pinned
+    by tests/differential/ (docs/PERF.md).
     """
 
     classifier: str = "indexed"
+    frame_codec: str = "fast"
 
     def __post_init__(self) -> None:
         if self.classifier not in CLASSIFIER_KINDS:
             raise EngineError(
                 f"unknown classifier kind {self.classifier!r} "
                 f"(expected one of {sorted(CLASSIFIER_KINDS)})"
+            )
+        if self.frame_codec not in FRAME_CODEC_KINDS:
+            raise EngineError(
+                f"unknown frame codec {self.frame_codec!r} "
+                f"(expected one of {sorted(FRAME_CODEC_KINDS)})"
             )
 
 
@@ -170,7 +185,12 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         self._busy_until = 0
         if self.node_name in program.nodes:
             self.runtime = NodeRuntime(self.node_name, program, hooks=self)
-            self.classifier = make_classifier(program.filters, self.config.classifier)
+            kind = self.config.classifier
+            if kind == "indexed" and self.config.frame_codec == "fast":
+                # The fast codec's allocation-free twin of the indexed
+                # classifier: same chains, flattened match-programs.
+                kind = "compiled"
+            self.classifier = make_classifier(program.filters, kind)
             if self.audit_log is not None:
                 self.runtime.audit = self.audit_log.recorder_for(self.node_name)
         else:
@@ -314,8 +334,8 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
 
     def _endpoints(self, data: bytes):
         nodes = self.program.nodes
-        src = nodes.by_mac(_mac_at(data, 6))
-        dst = nodes.by_mac(_mac_at(data, 0))
+        src = nodes.by_mac_bytes(data[6:12] if len(data) >= 12 else _ZERO_MAC)
+        dst = nodes.by_mac_bytes(data[0:6] if len(data) >= 6 else _ZERO_MAC)
         return (src.name if src else None, dst.name if dst else None)
 
     def _event_cost(self, event: EventStats) -> int:
@@ -350,7 +370,7 @@ class VirtualWireEngine(FrameLayer, RuntimeHooks):
         if release <= self.sim.now:
             emit()
         else:
-            self.sim.at(release, emit, "vw:forward")
+            self.sim.at(release, emit, "vw:forward", pooled=True)
 
     def _forward(self, data: bytes, direction: Direction) -> None:
         if direction is Direction.SEND:
@@ -617,9 +637,6 @@ def _is_control(frame_bytes: bytes) -> bool:
     return len(frame_bytes) >= 14 and read_u16(frame_bytes, 12) == ETHERTYPE_VW_CONTROL
 
 
-def _mac_at(data: bytes, offset: int):
-    from ..net.addresses import MacAddress
-
-    if len(data) < offset + 6:
-        return MacAddress(b"\x00" * 6)
-    return MacAddress(data[offset : offset + 6])
+#: what a truncated frame's missing address reads as (matches the node
+#: table's view of an all-zero MAC: never a scenario node).
+_ZERO_MAC = b"\x00" * 6

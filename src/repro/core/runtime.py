@@ -37,6 +37,9 @@ from .tables import (
 #: re-enables rule A ...) abort the event instead of hanging the simulator.
 MAX_CASCADE_STEPS = 10_000
 
+#: Flattened action opcodes (see NodeRuntime._condition_ops).
+_OP_ADD, _OP_SET, _OP_GATE = 0, 1, 2
+
 
 class RuntimeHooks:
     """Callbacks the engine supplies; overridden per engine instance."""
@@ -115,6 +118,72 @@ class NodeRuntime:
         self.my_fault_actions: List[ActionSpec] = [
             a for a in program.actions if a.is_packet_fault and a.node == node_name
         ]
+        # Exact-key dispatch indexes over the static match fields, built in
+        # file order so iteration order — and therefore counter-update and
+        # fault-application order — is identical to the linear scans they
+        # replace.  Dynamic state (enabled flags, condition truth) is still
+        # checked per event.
+        self._event_index: Dict[tuple, List[CounterSpec]] = {}
+        for counter in self.my_event_counters:
+            key = (counter.pkt_type, counter.direction, counter.src_node, counter.dst_node)
+            self._event_index.setdefault(key, []).append(counter)
+        self._fault_index: Dict[tuple, List[ActionSpec]] = {}
+        for action in self.my_fault_actions:
+            key = (action.pkt_type, action.direction, action.src_node, action.dst_node)
+            self._fault_index.setdefault(key, []).append(action)
+        # Non-fault actions per condition, pre-filtered to this node, in
+        # trigger order: _fire_actions runs straight down this list instead
+        # of re-filtering every trigger on every false→true edge.
+        self._condition_actions: Dict[int, List[ActionSpec]] = {}
+        for condition in program.conditions:
+            actions = [
+                program.actions[action_id]
+                for node, action_id in condition.triggers
+                if node == node_name
+                and not program.actions[action_id].is_packet_fault
+            ]
+            if actions:
+                self._condition_actions[condition.condition_id] = actions
+        # Counters whose updates touch nothing beyond the value slot (no
+        # terms to re-evaluate, no mirrors to push): _set_counter returns
+        # early for these, which is the common case on the packet hot path.
+        self._counter_plain: List[bool] = [
+            not c.term_ids
+            and not (c.home_node == node_name and c.mirror_subscribers)
+            for c in program.counters
+        ]
+        # Straight-line op programs: when every local action of a condition
+        # is a plain counter write (the Fig 7 "25 actions per match" shape),
+        # the whole trigger list flattens to (op, counter_id, operand)
+        # tuples executed inline — no per-action dispatch through _execute.
+        # Any action with side effects beyond the value/enabled slots keeps
+        # the condition on the general path (docs/PERF.md).
+        self._condition_ops: Dict[int, List[tuple]] = {}
+        for condition_id, actions in self._condition_actions.items():
+            ops: Optional[List[tuple]] = []
+            for action in actions:
+                kind = action.kind
+                if kind is ActionKind.INCR_CNTR:
+                    op = (_OP_ADD, action.counter_id, action.value)
+                elif kind is ActionKind.DECR_CNTR:
+                    op = (_OP_ADD, action.counter_id, -action.value)
+                elif kind is ActionKind.ASSIGN_CNTR:
+                    op = (_OP_SET, action.counter_id, action.value)
+                elif kind is ActionKind.RESET_CNTR:
+                    op = (_OP_SET, action.counter_id, 0)
+                elif kind is ActionKind.ENABLE_CNTR:
+                    op = (_OP_GATE, action.counter_id, True)
+                elif kind is ActionKind.DISABLE_CNTR:
+                    op = (_OP_GATE, action.counter_id, False)
+                else:
+                    ops = None
+                    break
+                if op[0] is not _OP_GATE and not self._counter_plain[op[1]]:
+                    ops = None  # write cascades into terms/mirrors
+                    break
+                ops.append(op)
+            if ops:
+                self._condition_ops[condition_id] = ops
         self._pending_conditions: Set[int] = set()
         self._stats: Optional[EventStats] = None
         self.events_seen = 0
@@ -157,14 +226,8 @@ class NodeRuntime:
         """A packet of *pkt_type* crossed this node's hook."""
         stats = self._begin_event()
         self.events_seen += 1
-        for counter in self.my_event_counters:
-            if (
-                counter.pkt_type == pkt_type
-                and counter.direction is direction
-                and counter.src_node == src_node
-                and counter.dst_node == dst_node
-                and self.enabled[counter.counter_id]
-            ):
+        for counter in self._event_index.get((pkt_type, direction, src_node, dst_node), ()):
+            if self.enabled[counter.counter_id]:
                 self._set_counter(counter.counter_id, self.values[counter.counter_id] + 1)
         self._settle()
         return self._end_event(stats)
@@ -179,17 +242,11 @@ class NodeRuntime:
         """Packet faults active (condition true) that match this packet."""
         if self.crashed:
             return []
-        matching = []
-        for action in self.my_fault_actions:
-            if (
-                action.pkt_type == pkt_type
-                and action.direction is direction
-                and action.src_node == src_node
-                and action.dst_node == dst_node
-                and self.condition_state.get(action.condition_id, False)
-            ):
-                matching.append(action)
-        return matching
+        return [
+            action
+            for action in self._fault_index.get((pkt_type, direction, src_node, dst_node), ())
+            if self.condition_state.get(action.condition_id, False)
+        ]
 
     # ------------------------------------------------------------------
     # Control-plane inputs
@@ -240,7 +297,10 @@ class NodeRuntime:
 
     def _set_counter(self, counter_id: int, value: int) -> None:
         self.values[counter_id] = value
-        self._touch()
+        if self._stats is not None:
+            self._stats.counter_touches += 1
+        if self._counter_plain[counter_id]:
+            return
         counter = self.program.counters[counter_id]
         if counter.home_node == self.node_name and counter.mirror_subscribers:
             self.hooks.send_counter_update(counter_id, value, counter.mirror_subscribers)
@@ -321,18 +381,35 @@ class NodeRuntime:
                 self._fire_actions(condition_id)
 
     def _fire_actions(self, condition_id: int) -> None:
-        condition = self.program.conditions[condition_id]
         if self.audit is not None:
+            condition = self.program.conditions[condition_id]
             where = "TRUE rule" if condition.is_true_rule else f"line {condition.line}"
             self.audit("condition", f"{where} satisfied")
-        for node, action_id in condition.triggers:
-            if node != self.node_name:
-                continue
-            action = self.program.actions[action_id]
-            if action.is_packet_fault:
-                continue  # packet faults arm via condition state
-            if self._stats is not None:
-                self._stats.actions_fired += 1
+        stats = self._stats
+        ops = self._condition_ops.get(condition_id)
+        if ops is not None:
+            # Flattened path: plain counter writes only, so no audit lines,
+            # no hooks, no cascade and no possible CRASH mid-rule.  The
+            # stats mirror the general path exactly: one action fired and
+            # one table touch per op.
+            values = self.values
+            enabled = self.enabled
+            for op, counter_id, operand in ops:
+                if op == _OP_ADD:
+                    values[counter_id] += operand
+                elif op == _OP_SET:
+                    values[counter_id] = operand
+                else:
+                    enabled[counter_id] = operand
+            if stats is not None:
+                stats.actions_fired += len(ops)
+                stats.counter_touches += len(ops)
+            return
+        # Packet faults are absent from this list: they arm via condition
+        # state rather than firing here.
+        for action in self._condition_actions.get(condition_id, ()):
+            if stats is not None:
+                stats.actions_fired += 1
             self._execute(action)
             if self.crashed:
                 return  # a CRASH took the node down mid-rule

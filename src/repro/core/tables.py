@@ -199,6 +199,9 @@ class NodeTable:
         self.entries: List[NodeEntry] = list(entries)
         self._by_name = {e.name: e for e in self.entries}
         self._by_mac = {e.mac: e for e in self.entries}
+        #: packed-bytes key for the engine's per-frame endpoint lookup —
+        #: avoids constructing a MacAddress per intercepted packet.
+        self._by_mac_bytes = {bytes(e.mac.packed): e for e in self.entries}
         if len(self._by_name) != len(self.entries):
             raise FslCompileError("duplicate node name in NODE_TABLE")
 
@@ -216,6 +219,10 @@ class NodeTable:
 
     def by_mac(self, mac: MacAddress) -> Optional[NodeEntry]:
         return self._by_mac.get(mac)
+
+    def by_mac_bytes(self, packed: bytes) -> Optional[NodeEntry]:
+        """Entry for a raw 6-byte MAC slice (the frame hot path's lookup)."""
+        return self._by_mac_bytes.get(packed)
 
     def names(self) -> List[str]:
         return [e.name for e in self.entries]

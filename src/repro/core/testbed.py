@@ -101,10 +101,16 @@ class Testbed:
         """
         return cls.compile_cached(script, scenario).content_hash()
 
-    def __init__(self, seed: int = 0, costs: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        costs: Optional[CostModel] = None,
+        frame_codec: str = "fast",
+    ) -> None:
         self.sim = Simulator(seed=seed)
         self.topology = Topology(self.sim)
         self.costs = costs if costs is not None else CostModel()
+        self.frame_codec = frame_codec
         self.hosts: Dict[str, Host] = {}
         self.engines: Dict[str, VirtualWireEngine] = {}
         self.rll_layers: Dict[str, RllLayer] = {}
@@ -136,6 +142,7 @@ class Testbed:
             ip if ip is not None else IpAddress.from_index(self._host_index),
             costs=self.costs,
             install_tcp=install_tcp,
+            frame_codec=self.frame_codec,
         )
         self.hosts[name] = host
         for other in self.hosts.values():
@@ -199,6 +206,14 @@ class Testbed:
         """
         if self.frontend is not None:
             raise ScenarioError("VirtualWire is already installed")
+        if engine_config is None:
+            engine_config = EngineConfig(frame_codec=self.frame_codec)
+        elif engine_config.frame_codec != self.frame_codec:
+            # The engine knob wins: re-key every host's stack so one
+            # EngineConfig selects the codec for the whole testbed.
+            self.frame_codec = engine_config.frame_codec
+            for host in self.hosts.values():
+                host.set_frame_codec(engine_config.frame_codec)
         targets = (
             [self.host(ref) for ref in nodes]
             if nodes is not None

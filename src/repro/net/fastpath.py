@@ -1,0 +1,383 @@
+"""The ``fast`` frame codec: allocation-lean header (de)serialisation.
+
+This module is the hot-path twin of the reference codecs in
+:mod:`repro.net.frame` / :mod:`repro.net.ip` / :mod:`repro.net.tcp_segment` /
+:mod:`repro.net.udp`.  Every function here produces **byte-identical wire
+output** and the **same accept/reject decisions** as the reference path —
+pinned by the differential property tests (tests/props/test_props_codec.py)
+and the golden harness (tests/differential/) — while avoiding the per-frame
+object churn the reference path pays for its readability:
+
+* checksums are computed from integer field values plus one vectorised
+  pass over the payload (:func:`repro.net.bytesutil.checksum_sum16`), so
+  headers are never serialised twice and pseudo-headers never materialise;
+* whole headers are packed/unpacked with precompiled :mod:`struct` layouts
+  instead of per-field ``bytes`` concatenation;
+* parsed packets are built with ``__new__``, skipping constructor
+  revalidation of fields that came off the wire and are in range by
+  construction;
+* MAC/IP addresses are interned: a testbed has a handful of stations, so
+  every parse returns the same immutable address objects instead of
+  allocating new ones per packet.
+
+The codec is selected per testbed via ``EngineConfig.frame_codec``
+(``"fast"`` default, ``"reference"`` fallback); the reference path stays
+untouched as the differential oracle.  See docs/PERF.md.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from ..errors import ChecksumError, PacketError
+from .addresses import IpAddress, MacAddress
+from .bytesutil import checksum_sum16, fold_checksum
+from .frame import ETHERTYPE_IPV4, MAX_PAYLOAD
+from .frame import HEADER_LEN as ETH_HEADER_LEN
+from .ip import HEADER_LEN as IP_HEADER_LEN
+from .ip import PROTO_TCP, PROTO_UDP, Ipv4Packet
+from .tcp_segment import TcpSegment
+from .udp import UdpDatagram
+
+#: Valid values for ``EngineConfig.frame_codec`` / ``Host.frame_codec``.
+FRAME_CODEC_KINDS = frozenset({"fast", "reference"})
+
+__all__ = [
+    "FRAME_CODEC_KINDS",
+    "intern_ip",
+    "intern_mac",
+    "pseudo_header_sum",
+    "encode_tcp_segment",
+    "encode_udp_datagram",
+    "encode_ipv4_frame",
+    "parse_ipv4_frame",
+    "parse_tcp_segment",
+    "parse_udp_datagram",
+    "HeaderView",
+]
+
+# -- address interning ------------------------------------------------------
+
+_MAC_CACHE: Dict[bytes, MacAddress] = {}
+_IP_CACHE: Dict[bytes, IpAddress] = {}
+
+
+def intern_mac(packed: bytes) -> MacAddress:
+    """The canonical :class:`MacAddress` for 6 packed bytes (cached)."""
+    mac = _MAC_CACHE.get(packed)
+    if mac is None:
+        mac = _MAC_CACHE.setdefault(bytes(packed), MacAddress(packed))
+    return mac
+
+
+def intern_ip(packed: bytes) -> IpAddress:
+    """The canonical :class:`IpAddress` for 4 packed bytes (cached)."""
+    ip = _IP_CACHE.get(packed)
+    if ip is None:
+        ip = _IP_CACHE.setdefault(bytes(packed), IpAddress(packed))
+    return ip
+
+
+# -- checksum building blocks ----------------------------------------------
+
+
+def pseudo_header_sum(src_packed: bytes, dst_packed: bytes, protocol: int, length: int) -> int:
+    """Big-endian word sum of the RFC 793/768 pseudo header, from integers."""
+    s = int.from_bytes(src_packed, "big")
+    d = int.from_bytes(dst_packed, "big")
+    return (s >> 16) + (s & 0xFFFF) + (d >> 16) + (d & 0xFFFF) + protocol + length
+
+
+# -- encoders ---------------------------------------------------------------
+
+#: src_port, dst_port, seq, ack, data_offset|flags, window, checksum, urgent.
+_TCP_HDR = struct.Struct(">HHIIHHHH")
+#: src_port, dst_port, length, checksum.
+_UDP_HDR = struct.Struct(">HHHH")
+#: dst_mac, src_mac, ethertype | ver_ihl_tos, total_len, ident, flags_frag,
+#: ttl, protocol, checksum, src_ip, dst_ip.
+_ETH_IP_HDR = struct.Struct(">6s6sHHHHHBBH4s4s")
+
+
+def encode_tcp_segment(seg: TcpSegment, src_ip: IpAddress, dst_ip: IpAddress) -> bytes:
+    """Byte-identical fast twin of :meth:`TcpSegment.to_bytes`."""
+    payload = seg.payload
+    data_offset_flags = (5 << 12) | seg.flags
+    total = (
+        pseudo_header_sum(src_ip.packed, dst_ip.packed, PROTO_TCP, 20 + len(payload))
+        + seg.src_port
+        + seg.dst_port
+        + (seg.seq >> 16)
+        + (seg.seq & 0xFFFF)
+        + (seg.ack >> 16)
+        + (seg.ack & 0xFFFF)
+        + data_offset_flags
+        + seg.window
+    )
+    if payload:
+        total += checksum_sum16(payload)
+    header = _TCP_HDR.pack(
+        seg.src_port,
+        seg.dst_port,
+        seg.seq,
+        seg.ack,
+        data_offset_flags,
+        seg.window,
+        fold_checksum(total),
+        0,
+    )
+    return header + payload if payload else header
+
+
+def encode_udp_datagram(dgram: UdpDatagram, src_ip: IpAddress, dst_ip: IpAddress) -> bytes:
+    """Byte-identical fast twin of :meth:`UdpDatagram.to_bytes`."""
+    payload = dgram.payload
+    length = 8 + len(payload)
+    total = (
+        pseudo_header_sum(src_ip.packed, dst_ip.packed, PROTO_UDP, length)
+        + dgram.src_port
+        + dgram.dst_port
+        + length
+    )
+    if payload:
+        total += checksum_sum16(payload)
+    # RFC 768: a computed zero is transmitted as all-ones.
+    checksum = fold_checksum(total) or 0xFFFF
+    header = _UDP_HDR.pack(dgram.src_port, dgram.dst_port, length, checksum)
+    return header + payload if payload else header
+
+
+def encode_ipv4_frame(
+    dst_mac: bytes,
+    src_mac: bytes,
+    src_ip: bytes,
+    dst_ip: bytes,
+    protocol: int,
+    ident: int,
+    payload: bytes,
+) -> bytes:
+    """One-shot Ethernet+IPv4 frame builder (ttl 64, tos 0, DF set).
+
+    Byte-identical to ``EthernetFrame(dst, src, ETHERTYPE_IPV4,
+    Ipv4Packet(...).to_bytes()).to_bytes()`` for the defaults the IP layer
+    uses, including the reference path's Ethernet MTU check.
+    """
+    total_len = IP_HEADER_LEN + len(payload)
+    if total_len > MAX_PAYLOAD:
+        raise PacketError(
+            f"payload of {total_len} bytes exceeds Ethernet MTU {MAX_PAYLOAD}"
+        )
+    s = int.from_bytes(src_ip, "big")
+    d = int.from_bytes(dst_ip, "big")
+    header_sum = (
+        0x4500
+        + total_len
+        + ident
+        + 0x4000  # flags: DF
+        + (64 << 8)  # ttl
+        + protocol
+        + (s >> 16)
+        + (s & 0xFFFF)
+        + (d >> 16)
+        + (d & 0xFFFF)
+    )
+    header = _ETH_IP_HDR.pack(
+        dst_mac,
+        src_mac,
+        ETHERTYPE_IPV4,
+        0x4500,
+        total_len,
+        ident,
+        0x4000,
+        64,
+        protocol,
+        fold_checksum(header_sum),
+        src_ip,
+        dst_ip,
+    )
+    return header + payload if payload else header
+
+
+# -- parsers ----------------------------------------------------------------
+
+
+def parse_ipv4_frame(frame_bytes: bytes) -> Ipv4Packet:
+    """Fast twin of ``Ipv4Packet.from_bytes(frame_bytes[14:], verify=True)``.
+
+    Operates on the whole frame (no intermediate slice of the IP packet)
+    and accepts/rejects exactly the same inputs as the reference parser —
+    every reject raises :class:`PacketError`/:class:`ChecksumError` just
+    like the reference, so the IP layer's drop accounting is unchanged.
+    """
+    n = len(frame_bytes) - ETH_HEADER_LEN
+    if n < IP_HEADER_LEN:
+        raise PacketError(f"IPv4 packet of {n} bytes is too short")
+    version_ihl = frame_bytes[14]
+    if version_ihl >> 4 != 4:
+        raise PacketError(f"not an IPv4 packet (version nibble {version_ihl >> 4})")
+    if (version_ihl & 0x0F) * 4 != IP_HEADER_LEN:
+        raise PacketError(f"IPv4 options unsupported (IHL {(version_ihl & 0x0F) * 4} bytes)")
+    total_length = (frame_bytes[16] << 8) | frame_bytes[17]
+    if total_length > n or total_length < IP_HEADER_LEN:
+        raise PacketError(
+            f"IPv4 total length {total_length} inconsistent with {n} bytes"
+        )
+    if fold_checksum(checksum_sum16(frame_bytes[14:34])) != 0:
+        raise ChecksumError("IPv4 header checksum mismatch")
+    flags_frag = (frame_bytes[20] << 8) | frame_bytes[21]
+    if flags_frag & 0x3FFF:
+        raise PacketError("IPv4 fragmentation is not modelled")
+    packet = Ipv4Packet.__new__(Ipv4Packet)
+    packet.src = intern_ip(frame_bytes[26:30])
+    packet.dst = intern_ip(frame_bytes[30:34])
+    packet.protocol = frame_bytes[23]
+    packet.payload = frame_bytes[34 : 14 + total_length]
+    packet.ttl = frame_bytes[22]
+    packet.tos = frame_bytes[15]
+    packet.ident = (frame_bytes[18] << 8) | frame_bytes[19]
+    packet.dont_fragment = bool(flags_frag & 0x4000)
+    return packet
+
+
+def parse_tcp_segment(data: bytes, src_ip: IpAddress, dst_ip: IpAddress) -> TcpSegment:
+    """Fast twin of ``TcpSegment.from_bytes(data, src_ip, dst_ip, verify=True)``."""
+    if len(data) < 20:
+        raise PacketError(f"TCP segment of {len(data)} bytes is too short")
+    data_offset_flags = (data[12] << 8) | data[13]
+    if (data_offset_flags >> 12) * 4 != 20:
+        raise PacketError(
+            f"TCP options unsupported (header {(data_offset_flags >> 12) * 4} bytes)"
+        )
+    total = pseudo_header_sum(src_ip.packed, dst_ip.packed, PROTO_TCP, len(data))
+    if fold_checksum(total + checksum_sum16(data)) != 0:
+        raise ChecksumError("TCP checksum mismatch")
+    seg = TcpSegment.__new__(TcpSegment)
+    seg.src_port = (data[0] << 8) | data[1]
+    seg.dst_port = (data[2] << 8) | data[3]
+    seg.seq = int.from_bytes(data[4:8], "big")
+    seg.ack = int.from_bytes(data[8:12], "big")
+    seg.flags = data_offset_flags & 0x3F
+    seg.window = (data[14] << 8) | data[15]
+    seg.payload = data[20:]
+    return seg
+
+
+def parse_udp_datagram(data: bytes, src_ip: IpAddress, dst_ip: IpAddress) -> UdpDatagram:
+    """Fast twin of ``UdpDatagram.from_bytes(data, src_ip, dst_ip, verify=True)``."""
+    if len(data) < 8:
+        raise PacketError(f"UDP datagram of {len(data)} bytes is too short")
+    length = (data[4] << 8) | data[5]
+    if length < 8 or length > len(data):
+        raise PacketError(
+            f"UDP length field {length} inconsistent with {len(data)} bytes"
+        )
+    checksum = (data[6] << 8) | data[7]
+    if checksum != 0:
+        total = pseudo_header_sum(src_ip.packed, dst_ip.packed, PROTO_UDP, length)
+        if fold_checksum(total + checksum_sum16(data[:length])) != 0:
+            raise ChecksumError("UDP checksum mismatch")
+    dgram = UdpDatagram.__new__(UdpDatagram)
+    dgram.src_port = (data[0] << 8) | data[1]
+    dgram.dst_port = (data[2] << 8) | data[3]
+    dgram.payload = data[8:length]
+    return dgram
+
+
+# -- lazy zero-copy view ----------------------------------------------------
+
+
+class HeaderView:
+    """A lazy, zero-copy, parse-on-demand view over raw frame bytes.
+
+    Unlike :class:`repro.net.packet.FrameView` — which materialises whole
+    layer objects (and copies their payloads) on access — a ``HeaderView``
+    never copies: each accessor reads its field straight out of the
+    underlying buffer through a :class:`memoryview` and caches the scalar.
+    Corruption tolerance matches ``FrameView``: a field that does not fit
+    in the frame reads as ``None`` instead of raising.
+    """
+
+    __slots__ = ("_mv", "_len", "_cache")
+
+    def __init__(self, data: bytes) -> None:
+        self._mv = memoryview(data)
+        self._len = len(data)
+        self._cache: Dict[str, Optional[int]] = {}
+
+    def _u(self, key: str, offset: int, nbytes: int) -> Optional[int]:
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        if offset + nbytes > self._len:
+            value: Optional[int] = None
+        else:
+            value = int.from_bytes(self._mv[offset : offset + nbytes], "big")
+        self._cache[key] = value
+        return value
+
+    # Ethernet ----------------------------------------------------------
+    @property
+    def dst_mac(self) -> Optional[bytes]:
+        return bytes(self._mv[0:6]) if self._len >= 6 else None
+
+    @property
+    def src_mac(self) -> Optional[bytes]:
+        return bytes(self._mv[6:12]) if self._len >= 12 else None
+
+    @property
+    def ethertype(self) -> Optional[int]:
+        return self._u("ethertype", 12, 2)
+
+    # IPv4 --------------------------------------------------------------
+    @property
+    def is_ipv4(self) -> bool:
+        return self.ethertype == ETHERTYPE_IPV4 and self._u("ver_ihl", 14, 1) == 0x45
+
+    @property
+    def ip_protocol(self) -> Optional[int]:
+        return self._u("proto", 23, 1) if self.is_ipv4 else None
+
+    @property
+    def ip_total_length(self) -> Optional[int]:
+        return self._u("total_len", 16, 2) if self.is_ipv4 else None
+
+    @property
+    def src_ip(self) -> Optional[IpAddress]:
+        if not self.is_ipv4 or self._len < 30:
+            return None
+        return intern_ip(bytes(self._mv[26:30]))
+
+    @property
+    def dst_ip(self) -> Optional[IpAddress]:
+        if not self.is_ipv4 or self._len < 34:
+            return None
+        return intern_ip(bytes(self._mv[30:34]))
+
+    # Transport ---------------------------------------------------------
+    @property
+    def src_port(self) -> Optional[int]:
+        return self._u("src_port", 34, 2) if self.ip_protocol in (PROTO_TCP, PROTO_UDP) else None
+
+    @property
+    def dst_port(self) -> Optional[int]:
+        return self._u("dst_port", 36, 2) if self.ip_protocol in (PROTO_TCP, PROTO_UDP) else None
+
+    @property
+    def tcp_seq(self) -> Optional[int]:
+        return self._u("tcp_seq", 38, 4) if self.ip_protocol == PROTO_TCP else None
+
+    @property
+    def tcp_ack(self) -> Optional[int]:
+        return self._u("tcp_ack", 42, 4) if self.ip_protocol == PROTO_TCP else None
+
+    @property
+    def tcp_flags(self) -> Optional[int]:
+        value = self._u("tcp_flags", 46, 2) if self.ip_protocol == PROTO_TCP else None
+        return value & 0x3F if value is not None else None
+
+    def __len__(self) -> int:
+        return self._len
+
+
+_MISSING = object()

@@ -22,11 +22,12 @@ offset size    field
 
 from __future__ import annotations
 
+import struct
 from typing import Optional
 
 from ..errors import PacketError
 from ..net.bytesutil import pack_u16, read_u16
-from ..net.frame import ETHERTYPE_RLL, EthernetFrame
+from ..net.frame import ETHERTYPE_RLL, MAX_PAYLOAD, EthernetFrame
 
 KIND_DATA = 1
 KIND_ACK = 2
@@ -121,3 +122,47 @@ class RllFrame:
     def __repr__(self) -> str:
         kind = "DATA" if self.kind == KIND_DATA else "ACK"
         return f"RllFrame({kind}, seq={self.seq}, ack={self.ack})"
+
+
+# -- fast-codec helpers (byte-identical to the RllFrame/EthernetFrame path) --
+
+#: RLL EtherType + kind + reserved + seq + ack, the 8 bytes inserted at
+#: offset 12 when encapsulating (the inner EtherType slides to offset 20).
+_SHIM_INSERT = struct.Struct(">HBBHH")
+
+
+def encap_data_fast(frame_bytes: bytes, seq: int, ack: int) -> bytes:
+    """DATA encapsulation on raw bytes.
+
+    Equals ``RllFrame.data_for(frame, seq, ack).wrap(frame.dst,
+    frame.src).to_bytes()``: the outer frame keeps the inner addressing, so
+    the wire form is the original frame with 8 shim bytes spliced in after
+    the source MAC.  Replicates the wrap path's Ethernet MTU check.
+    """
+    if len(frame_bytes) - 6 > MAX_PAYLOAD:
+        raise PacketError(
+            f"payload of {len(frame_bytes) - 6} bytes exceeds Ethernet MTU {MAX_PAYLOAD}"
+        )
+    return (
+        frame_bytes[:12]
+        + _SHIM_INSERT.pack(ETHERTYPE_RLL, KIND_DATA, 0, seq, ack)
+        + frame_bytes[12:]
+    )
+
+
+#: EtherType + full 8-byte shim of a pure ACK (inner EtherType zero).
+_ACK_TAIL = struct.Struct(">HBBHHH")
+
+
+def encap_ack_fast(dst_packed: bytes, src_packed: bytes, ack: int) -> bytes:
+    """Pure-ACK frame bytes, equal to ``pure_ack(ack).wrap(dst, src).to_bytes()``."""
+    return dst_packed + src_packed + _ACK_TAIL.pack(ETHERTYPE_RLL, KIND_ACK, 0, 0, ack, 0)
+
+
+def decap_data_fast(frame_bytes: bytes) -> bytes:
+    """Reconstruct the original frame from DATA frame bytes.
+
+    Equals ``shim.unwrap(outer).to_bytes()``: strip the 8 shim bytes so the
+    inner EtherType (at offset 20) lands back at offset 12.
+    """
+    return frame_bytes[:12] + frame_bytes[20:]

@@ -25,11 +25,23 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
+from ..errors import PacketError
 from ..net.addresses import MacAddress
-from ..net.frame import EthernetFrame
+from ..net.fastpath import intern_mac
+from ..net.frame import HEADER_LEN, MAX_PAYLOAD, EthernetFrame
 from ..sim import NS_PER_MS, Simulator
 from ..stack.layers import FrameLayer
-from .frames import KIND_ACK, KIND_DATA, RllFrame, seq_add, seq_diff
+from .frames import (
+    KIND_ACK,
+    KIND_DATA,
+    SHIM_LEN,
+    RllFrame,
+    decap_data_fast,
+    encap_ack_fast,
+    encap_data_fast,
+    seq_add,
+    seq_diff,
+)
 
 #: Outstanding unacked frames allowed per peer.
 DEFAULT_WINDOW = 8
@@ -81,6 +93,10 @@ class RllLayer(FrameLayer):
         self.rto_ns = rto_ns
         self.max_retries = max_retries
         self._frame_cost_ns = frame_cost_ns
+        #: Fast codec flag, resolved from the host in attached().  Windows
+        #: and backlogs hold raw frame bytes in fast mode, EthernetFrame
+        #: objects in reference mode — never switch codecs mid-flight.
+        self._fast = False
         self._peers: Dict[MacAddress, _PeerState] = {}
         # Statistics.
         self.data_sent = 0
@@ -100,15 +116,21 @@ class RllLayer(FrameLayer):
     def attached(self) -> None:
         if self._frame_cost_ns is None:
             self._frame_cost_ns = self.host.costs.rll_frame_ns if self.host else 0
+        self._fast = getattr(self.host, "frame_codec", "reference") == "fast"
         metrics = getattr(self.host, "metrics", None)
         if metrics is not None:
             self._m_rtx = metrics.counter("rll", "retransmissions")
             self._m_abandoned = metrics.counter("rll", "abandoned_frames")
             self._m_backlog = metrics.gauge("rll", "backlog_depth")
 
+    def set_frame_codec(self, codec: str) -> None:
+        """Select fast/reference framing; call only while no frames are
+        windowed (the two modes store different window element types)."""
+        self._fast = codec == "fast"
+
     def _charge(self, thunk, label: str) -> None:
         if self._frame_cost_ns:
-            self.sim.after(self._frame_cost_ns, thunk, label)
+            self.sim.after(self._frame_cost_ns, thunk, label, pooled=True)
         else:
             thunk()
 
@@ -141,20 +163,40 @@ class RllLayer(FrameLayer):
     # ------------------------------------------------------------------
 
     def on_send(self, frame_bytes: bytes) -> None:
-        frame = EthernetFrame.from_bytes(frame_bytes)
-        if frame.dst.is_multicast:
-            self.bypass_frames += 1
-            self.pass_down(frame_bytes)
-            return
-        peer = self._peer(frame.dst)
+        if self._fast:
+            # Same checks EthernetFrame.from_bytes would have applied;
+            # window/backlog hold the raw bytes, never a parsed frame.
+            n = len(frame_bytes)
+            if n < HEADER_LEN:
+                raise PacketError(f"frame of {n} bytes is shorter than header")
+            if n - HEADER_LEN > MAX_PAYLOAD:
+                raise PacketError(
+                    f"payload of {n - HEADER_LEN} bytes exceeds "
+                    f"Ethernet MTU {MAX_PAYLOAD}"
+                )
+            if frame_bytes[0] & 0x01:
+                self.bypass_frames += 1
+                self.pass_down(frame_bytes)
+                return
+            dst = intern_mac(frame_bytes[:6])
+            frame = frame_bytes
+        else:
+            parsed = EthernetFrame.from_bytes(frame_bytes)
+            if parsed.dst.is_multicast:
+                self.bypass_frames += 1
+                self.pass_down(frame_bytes)
+                return
+            dst = parsed.dst
+            frame = parsed
+        peer = self._peer(dst)
         if peer.unacked >= self.window_size:
             peer.backlog.append(frame)
             if self._m_backlog is not None:
                 self._m_backlog.set(len(peer.backlog))
             return
-        self._charge(lambda: self._send_data(frame.dst, peer, frame), "rll:tx")
+        self._charge(lambda: self._send_data(dst, peer, frame), "rll:tx")
 
-    def _send_data(self, dst: MacAddress, peer: _PeerState, frame: EthernetFrame) -> None:
+    def _send_data(self, dst: MacAddress, peer: _PeerState, frame) -> None:
         seq = peer.snd_next
         peer.snd_next = seq_add(peer.snd_next, 1)
         peer.window.append((seq, frame))
@@ -164,7 +206,10 @@ class RllLayer(FrameLayer):
         if peer.timer is None:
             self._arm_timer(dst, peer)
 
-    def _emit_data(self, dst: MacAddress, frame: EthernetFrame, seq: int, ack: int) -> None:
+    def _emit_data(self, dst: MacAddress, frame, seq: int, ack: int) -> None:
+        if self._fast:
+            self.pass_down(encap_data_fast(frame, seq, ack))
+            return
         shim = RllFrame.data_for(frame, seq, ack)
         self.pass_down(shim.wrap(dst, frame.src).to_bytes())
 
@@ -173,6 +218,9 @@ class RllLayer(FrameLayer):
     # ------------------------------------------------------------------
 
     def on_receive(self, frame_bytes: bytes) -> None:
+        if self._fast:
+            self._receive_fast(frame_bytes)
+            return
         outer = EthernetFrame.from_bytes(frame_bytes)
         shim = RllFrame.maybe_parse(outer)
         if shim is None:
@@ -189,6 +237,55 @@ class RllLayer(FrameLayer):
             self._charge(
                 lambda: self._process_data(outer, shim, peer), "rll:rx"
             )
+
+    def _receive_fast(self, frame_bytes: bytes) -> None:
+        # Field-by-field twin of the reference path above, including every
+        # reject the reference parsers would have raised.
+        n = len(frame_bytes)
+        if n < HEADER_LEN:
+            raise PacketError(f"frame of {n} bytes is shorter than header")
+        if n - HEADER_LEN > MAX_PAYLOAD:
+            raise PacketError(
+                f"payload of {n - HEADER_LEN} bytes exceeds Ethernet MTU {MAX_PAYLOAD}"
+            )
+        if frame_bytes[12] != 0x88 or frame_bytes[13] != 0xB6:
+            self.bypass_frames += 1
+            self.pass_up(frame_bytes)
+            return
+        if n - HEADER_LEN < SHIM_LEN:
+            raise PacketError(f"RLL shim of {n - HEADER_LEN} bytes is too short")
+        kind = frame_bytes[14]
+        if kind != KIND_DATA and kind != KIND_ACK:
+            raise PacketError(f"bad RLL frame kind: {kind}")
+        src = intern_mac(frame_bytes[6:12])
+        peer = self._peer(src)
+        ack = (frame_bytes[18] << 8) | frame_bytes[19]
+        if kind == KIND_ACK:
+            self.acks_received += 1
+            self._process_ack(src, peer, ack)
+            return
+        seq = (frame_bytes[16] << 8) | frame_bytes[17]
+        self._charge(
+            lambda: self._process_data_fast(frame_bytes, src, seq, ack, peer),
+            "rll:rx",
+        )
+
+    def _process_data_fast(
+        self, frame_bytes: bytes, src: MacAddress, seq: int, ack: int, peer: _PeerState
+    ) -> None:
+        self._process_ack(src, peer, ack)
+        delta = seq_diff(seq, peer.rcv_next)
+        if delta == 0:
+            peer.rcv_next = seq_add(peer.rcv_next, 1)
+            self.data_received += 1
+            self._send_ack(src, peer)
+            self.pass_up(decap_data_fast(frame_bytes))
+        elif delta < 0:
+            self.duplicates_discarded += 1
+            self._send_ack(src, peer)
+        else:
+            self.out_of_order_discarded += 1
+            self._send_ack(src, peer)
 
     def _process_data(self, outer: EthernetFrame, shim: RllFrame, peer: _PeerState) -> None:
         # Piggybacked cumulative ack is valid on every DATA frame.
@@ -211,8 +308,11 @@ class RllLayer(FrameLayer):
 
     def _send_ack(self, dst: MacAddress, peer: _PeerState) -> None:
         self.acks_sent += 1
-        shim = RllFrame.pure_ack(peer.rcv_next)
         src = self.host.mac if self.host is not None else dst
+        if self._fast:
+            self.pass_down(encap_ack_fast(dst.packed, src.packed, peer.rcv_next))
+            return
+        shim = RllFrame.pure_ack(peer.rcv_next)
         self.pass_down(shim.wrap(dst, src).to_bytes())
 
     def _process_ack(self, dst: MacAddress, peer: _PeerState, ack: int) -> None:

@@ -3,7 +3,10 @@
 The queue is a binary heap keyed by ``(time, sequence)`` where *sequence* is
 a global insertion counter.  Ties at the same virtual instant therefore fire
 in the order they were scheduled, which makes every run deterministic without
-any reliance on hash ordering or object identity.
+any reliance on hash ordering or object identity.  Heap entries are
+``(when, seq, handle)`` tuples rather than the handles themselves, so sift
+comparisons stop at the integer fields and run at C speed — sequence
+numbers are unique, so the handle element is never compared (docs/PERF.md).
 
 Events are cancellable: cancellation marks the handle and the event loop
 skips dead entries lazily (the standard heapq idiom), so cancellation is
@@ -20,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SchedulingError
 
@@ -33,11 +36,14 @@ Callback = Callable[[], None]
 #: more than half dead is rebuilt from its live entries.
 COMPACT_MIN_DEAD = 1024
 
+#: Freelist ceiling for pooled handles: bounds the memory a burst pins.
+POOL_MAX_FREE = 4096
+
 
 class EventHandle:
     """A scheduled event, returned so the caller may cancel or inspect it."""
 
-    __slots__ = ("when", "seq", "callback", "label", "cancelled", "queue")
+    __slots__ = ("when", "seq", "callback", "label", "cancelled", "queue", "pooled")
 
     def __init__(self, when: int, seq: int, callback: Callback, label: str) -> None:
         self.when = when
@@ -48,6 +54,10 @@ class EventHandle:
         #: the owning queue, while the entry sits in its heap; the queue
         #: clears it on pop so post-fire cancels cannot skew accounting.
         self.queue: Optional["EventQueue"] = None
+        #: pooled handles are recycled into the queue's freelist after they
+        #: fire (see EventQueue.push) — schedulers opting in must drop the
+        #: returned handle immediately and never cancel it.
+        self.pooled = False
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Safe to call more than once."""
@@ -75,9 +85,11 @@ class EventQueue:
     """Deterministic priority queue of :class:`EventHandle` objects."""
 
     def __init__(self) -> None:
-        self._heap: List[EventHandle] = []
+        self._heap: List[Tuple[int, int, EventHandle]] = []
         self._counter = itertools.count()
         self._live = 0
+        #: recycled pooled handles awaiting reuse (see :meth:`push`).
+        self._freelist: List[EventHandle] = []
 
     def __len__(self) -> int:
         return self._live
@@ -94,15 +106,48 @@ class EventQueue:
         """
         return len(self._heap)
 
-    def push(self, when: int, callback: Callback, label: str = "") -> EventHandle:
-        """Schedule *callback* at absolute time *when* and return its handle."""
+    def push(
+        self, when: int, callback: Callback, label: str = "", pooled: bool = False
+    ) -> EventHandle:
+        """Schedule *callback* at absolute time *when* and return its handle.
+
+        With ``pooled=True`` the handle comes from (and, after firing,
+        returns to) a freelist, so steady-state per-frame scheduling
+        allocates nothing.  Pooled events are strictly fire-and-forget:
+        the caller must not retain or cancel the returned handle, because
+        the same object will be handed out again for a later event.
+        """
         if callback is None:
             raise SchedulingError("cannot schedule a None callback")
-        handle = EventHandle(int(when), next(self._counter), callback, label)
+        when = int(when)
+        seq = next(self._counter)
+        if pooled and self._freelist:
+            handle = self._freelist.pop()
+            handle.when = when
+            handle.seq = seq
+            handle.callback = callback
+            handle.label = label
+            handle.cancelled = False
+        else:
+            handle = EventHandle(when, seq, callback, label)
+            handle.pooled = pooled
         handle.queue = self
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, (when, seq, handle))
         self._live += 1
         return handle
+
+    def recycle(self, handle: EventHandle) -> None:
+        """Return a fired pooled handle to the freelist.
+
+        Called by the simulator's step loop after the callback completed;
+        anything still referenced elsewhere (cancelled, or somehow back in
+        a heap) is left for the garbage collector instead.
+        """
+        if handle.cancelled or handle.queue is not None:
+            return
+        handle.callback = None
+        if len(self._freelist) < POOL_MAX_FREE:
+            self._freelist.append(handle)
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel *handle*; the heap entry is discarded lazily on pop."""
@@ -118,17 +163,17 @@ class EventQueue:
     def _compact(self) -> None:
         """Rebuild the heap from its live entries.
 
-        ``heapify`` over :class:`EventHandle` uses the same ``(when, seq)``
+        ``heapify`` over the ``(when, seq, handle)`` tuples uses the same
         ordering as the incremental pushes, so firing order — including
         same-instant insertion-order ties — is unchanged.
         """
-        self._heap = [h for h in self._heap if not h.cancelled]
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
 
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the next live event, or None if empty."""
         self._discard_dead()
-        return self._heap[0].when if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def pop(self) -> EventHandle:
         """Remove and return the next live event.
@@ -138,28 +183,29 @@ class EventQueue:
         self._discard_dead()
         if not self._heap:
             raise SchedulingError("pop from an empty event queue")
-        handle = heapq.heappop(self._heap)
+        handle = heapq.heappop(self._heap)[2]
         handle.queue = None
         self._live -= 1
         return handle
 
     def clear(self) -> None:
         """Drop every pending event (used when tearing a simulator down)."""
-        for handle in self._heap:
+        for _, _, handle in self._heap:
             handle.queue = None  # detach first: no per-handle accounting
             handle.cancel()
         self._heap.clear()
         self._live = 0
 
     def _discard_dead(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap).queue = None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2].queue = None
 
     def snapshot(self) -> List[Any]:
         """Return (time, label) for each live event, soonest first.
 
         Intended for debugging and tests; the cost is O(n log n).
         """
-        live = [h for h in self._heap if h.pending]
+        live = [handle for _, _, handle in self._heap if handle.pending]
         live.sort()
         return [(h.when, h.label) for h in live]

@@ -80,19 +80,28 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
 
-    def at(self, when: int, callback: Callback, label: str = "") -> EventHandle:
-        """Schedule *callback* at absolute virtual time *when*."""
+    def at(
+        self, when: int, callback: Callback, label: str = "", pooled: bool = False
+    ) -> EventHandle:
+        """Schedule *callback* at absolute virtual time *when*.
+
+        ``pooled=True`` draws the handle from the event queue's freelist
+        and recycles it after firing — for fire-and-forget per-frame
+        deferrals only (never retain or cancel a pooled handle).
+        """
         if when < self.clock.now:
             raise SchedulingError(
                 f"cannot schedule into the past: now={self.clock.now}, when={when}"
             )
-        return self.queue.push(when, callback, label)
+        return self.queue.push(when, callback, label, pooled=pooled)
 
-    def after(self, delay: int, callback: Callback, label: str = "") -> EventHandle:
-        """Schedule *callback* *delay* nanoseconds from now."""
+    def after(
+        self, delay: int, callback: Callback, label: str = "", pooled: bool = False
+    ) -> EventHandle:
+        """Schedule *callback* *delay* nanoseconds from now (see :meth:`at`)."""
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
-        return self.queue.push(self.clock.now + delay, callback, label)
+        return self.queue.push(self.clock.now + delay, callback, label, pooled=pooled)
 
     def every(self, interval: int, callback: Callback, label: str = "") -> PeriodicHandle:
         """Run *callback* every *interval* nanoseconds until stopped.
@@ -126,6 +135,10 @@ class Simulator:
         self.events_processed += 1
         if callback is not None:
             callback()
+        if handle.pooled and not self._trace_hooks:
+            # Recycle only when no trace hook could still be holding the
+            # handle (hooks may retain it for post-run inspection).
+            self.queue.recycle(handle)
         return True
 
     def run(self, max_events: int = 50_000_000) -> None:

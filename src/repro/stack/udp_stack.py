@@ -6,6 +6,7 @@ from typing import Callable, Dict, Optional, Union
 
 from ..errors import ChecksumError, PacketError, SocketError
 from ..net.addresses import IpAddress
+from ..net.fastpath import encode_udp_datagram, parse_udp_datagram
 from ..net.ip import PROTO_UDP, Ipv4Packet
 from ..net.udp import UdpDatagram
 from ..sim import Simulator
@@ -60,6 +61,7 @@ class UdpLayer:
         self.sim = sim
         self.ip_layer = ip_layer
         self.costs = costs
+        self._fast = ip_layer._fast
         self._sockets: Dict[int, UdpSocket] = {}
         self._next_ephemeral = _EPHEMERAL_BASE
         self.checksum_drops = 0
@@ -103,21 +105,28 @@ class UdpLayer:
         self, src_port: int, dst_ip: IpAddress, dst_port: int, payload: bytes
     ) -> None:
         datagram = UdpDatagram(src_port, dst_port, payload)
-        wire = datagram.to_bytes(self.ip_layer.local_ip, dst_ip)
+        if self._fast:
+            wire = encode_udp_datagram(datagram, self.ip_layer.local_ip, dst_ip)
+        else:
+            wire = datagram.to_bytes(self.ip_layer.local_ip, dst_ip)
         if self.costs.udp_ns > 0:
             self.sim.after(
                 self.costs.udp_ns,
                 lambda: self.ip_layer.send(dst_ip, PROTO_UDP, wire),
                 "udp:tx",
+                pooled=True,
             )
         else:
             self.ip_layer.send(dst_ip, PROTO_UDP, wire)
 
     def _receive(self, packet: Ipv4Packet) -> None:
         try:
-            datagram = UdpDatagram.from_bytes(
-                packet.payload, packet.src, packet.dst, verify=True
-            )
+            if self._fast:
+                datagram = parse_udp_datagram(packet.payload, packet.src, packet.dst)
+            else:
+                datagram = UdpDatagram.from_bytes(
+                    packet.payload, packet.src, packet.dst, verify=True
+                )
         except (ChecksumError, PacketError):
             self.checksum_drops += 1
             return
@@ -130,6 +139,7 @@ class UdpLayer:
                 self.costs.udp_ns,
                 lambda: socket.deliver(datagram.payload, packet.src, datagram.src_port),
                 "udp:rx",
+                pooled=True,
             )
         else:
             socket.deliver(datagram.payload, packet.src, datagram.src_port)

@@ -6,6 +6,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..errors import ChecksumError, PacketError, SocketError
 from ..net.addresses import IpAddress
+from ..net.fastpath import encode_tcp_segment, parse_tcp_segment
 from ..net.ip import PROTO_TCP, Ipv4Packet
 from ..net.tcp_segment import FLAG_ACK, FLAG_RST, TcpSegment
 from ..sim import Simulator
@@ -68,6 +69,7 @@ class TcpLayer:
         self._listeners: Dict[int, TcpListener] = {}
         self._next_ephemeral = _EPHEMERAL_BASE
         self._iss_stream = sim.random.stream(f"tcp:iss:{host.name}")
+        self._fast = host.ip_layer._fast
         self.checksum_drops = 0
         self.resets_sent = 0
         self.orphan_segments = 0
@@ -122,13 +124,16 @@ class TcpLayer:
 
     def send_segment(self, conn: TcpConnection, seg: TcpSegment) -> None:
         """Serialise and hand a segment to IP, charging the TCP CPU cost."""
-        wire = seg.to_bytes(self.host.ip_layer.local_ip, conn.remote_ip)
+        if self._fast:
+            wire = encode_tcp_segment(seg, self.host.ip_layer.local_ip, conn.remote_ip)
+        else:
+            wire = seg.to_bytes(self.host.ip_layer.local_ip, conn.remote_ip)
 
         def down() -> None:
             self.host.ip_layer.send(conn.remote_ip, PROTO_TCP, wire)
 
         if self.costs.tcp_ns > 0:
-            self.sim.after(self.costs.tcp_ns, down, "tcp:tx")
+            self.sim.after(self.costs.tcp_ns, down, "tcp:tx", pooled=True)
         else:
             down()
 
@@ -188,7 +193,12 @@ class TcpLayer:
 
     def _receive(self, packet: Ipv4Packet) -> None:
         try:
-            seg = TcpSegment.from_bytes(packet.payload, packet.src, packet.dst, verify=True)
+            if self._fast:
+                seg = parse_tcp_segment(packet.payload, packet.src, packet.dst)
+            else:
+                seg = TcpSegment.from_bytes(
+                    packet.payload, packet.src, packet.dst, verify=True
+                )
         except (ChecksumError, PacketError):
             self.checksum_drops += 1
             return
@@ -197,7 +207,7 @@ class TcpLayer:
             self._dispatch(packet, seg)
 
         if self.costs.tcp_ns > 0:
-            self.sim.after(self.costs.tcp_ns, up, "tcp:rx")
+            self.sim.after(self.costs.tcp_ns, up, "tcp:rx", pooled=True)
         else:
             up()
 
@@ -225,5 +235,8 @@ class TcpLayer:
             FLAG_RST | FLAG_ACK,
             0,
         )
-        wire = rst.to_bytes(self.host.ip_layer.local_ip, packet.src)
+        if self._fast:
+            wire = encode_tcp_segment(rst, self.host.ip_layer.local_ip, packet.src)
+        else:
+            wire = rst.to_bytes(self.host.ip_layer.local_ip, packet.src)
         self.host.ip_layer.send(packet.src, PROTO_TCP, wire)

@@ -1,6 +1,6 @@
-"""Differential property test: IndexedClassifier ≡ linear Classifier.
+"""Differential property test: fast classifiers ≡ linear Classifier.
 
-The indexed fast path (repro.core.classify.IndexedClassifier) must be
+The indexed and compiled fast paths (repro.core.classify) must be
 observationally identical to the paper-faithful linear scan: same winning
 packet type, same *scanned* count (the cost model's linear-equivalent
 charge), same VAR bindings — including stateful multi-packet sequences
@@ -12,8 +12,16 @@ patterns, overlapping entries and tuples that read past the frame.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.classify import Classifier, FilterIndex, IndexedClassifier
+from repro.core.classify import (
+    Classifier,
+    CompiledClassifier,
+    FilterIndex,
+    IndexedClassifier,
+)
 from repro.core.tables import FilterEntry, FilterTable, FilterTuple, VarRef
+
+#: both fast implementations must shadow the linear reference.
+FAST_KINDS = (IndexedClassifier, CompiledClassifier)
 
 VAR_NAMES = ("SeqA", "SeqB", "SeqC")
 WIDTHS = (1, 2, 4)
@@ -73,20 +81,23 @@ def frames_for(draw, table):
 
 @settings(max_examples=250, deadline=None)
 @given(data=st.data())
-def test_indexed_matches_linear_reference(data):
+def test_fast_classifiers_match_linear_reference(data):
     table = data.draw(filter_tables())
     linear = Classifier(table)
-    indexed = IndexedClassifier(table)
+    fasts = [cls(table) for cls in FAST_KINDS]
     n_packets = data.draw(st.integers(min_value=1, max_value=8))
     for _ in range(n_packets):
         frame = data.draw(frames_for(table))
-        assert indexed.classify(frame) == linear.classify(frame)
-        assert indexed.vars.snapshot() == linear.vars.snapshot()
-    assert indexed.packets_classified == linear.packets_classified
-    assert indexed.packets_unmatched == linear.packets_unmatched
-    assert indexed.entries_scanned_total == linear.entries_scanned_total
-    # The fast path may not examine MORE entries than the linear scan.
-    assert indexed.entries_examined_total <= linear.entries_examined_total
+        expected = linear.classify(frame)
+        for fast in fasts:
+            assert fast.classify(frame) == expected
+            assert fast.vars.snapshot() == linear.vars.snapshot()
+    for fast in fasts:
+        assert fast.packets_classified == linear.packets_classified
+        assert fast.packets_unmatched == linear.packets_unmatched
+        assert fast.entries_scanned_total == linear.entries_scanned_total
+        # The fast paths may not examine MORE entries than the linear scan.
+        assert fast.entries_examined_total <= linear.entries_examined_total
 
 
 @settings(max_examples=100, deadline=None)
@@ -118,17 +129,21 @@ def test_table_append_keeps_implementations_aligned(data):
     """
     table = data.draw(filter_tables())
     linear = Classifier(table)
-    indexed = IndexedClassifier(table)
+    fasts = [cls(table) for cls in FAST_KINDS]
     frame = data.draw(frames_for(table))
-    assert indexed.classify(frame) == linear.classify(frame)
+    expected = linear.classify(frame)
+    for fast in fasts:
+        assert fast.classify(frame) == expected
     extra = FilterEntry(
         "appended", tuple(data.draw(st.lists(filter_tuples(), min_size=1, max_size=2)))
     )
     table.append(extra)
     for _ in range(3):
         frame = data.draw(frames_for(table))
-        assert indexed.classify(frame) == linear.classify(frame)
-        assert indexed.vars.snapshot() == linear.vars.snapshot()
+        expected = linear.classify(frame)
+        for fast in fasts:
+            assert fast.classify(frame) == expected
+            assert fast.vars.snapshot() == linear.vars.snapshot()
 
 
 def test_var_bind_then_match_sequence_is_identical():
@@ -149,12 +164,15 @@ def test_var_bind_then_match_sequence_is_identical():
             FilterEntry("fallback", (FilterTuple(0, 2, 0x6000),)),
         ]
     )
-    linear, indexed = Classifier(table), IndexedClassifier(table)
+    linear = Classifier(table)
+    fasts = [cls(table) for cls in FAST_KINDS]
 
     def frame(seq):
         return (0x6000).to_bytes(2, "big") + b"\x00\x00" + seq.to_bytes(4, "big")
 
     for packet in (frame(777), frame(778), frame(777), frame(9)):
-        assert indexed.classify(packet) == linear.classify(packet)
-        assert indexed.vars.snapshot() == linear.vars.snapshot()
+        expected = linear.classify(packet)
+        for fast in fasts:
+            assert fast.classify(packet) == expected
+            assert fast.vars.snapshot() == linear.vars.snapshot()
     assert linear.vars.get("SeqNo") == 777

@@ -1,0 +1,120 @@
+"""Pooled hot-path scheduling: event-handle freelist and driver frame pool.
+
+Two invariants matter beyond plain reuse:
+
+* pooled event handles are recycled only when nothing else can still be
+  holding them (no trace hooks, not cancelled);
+* a host crash must not let pool reuse leak references from the previous
+  life — an in-flight driver job at the instant of the crash is discarded
+  on release instead of recycled, and a rebooted node's first frames ride
+  fresh job objects, never pre-crash ones.
+"""
+
+from repro.sim import ms, seconds
+from tests.conftest import make_two_hosts
+
+
+def frame_to(host, noise: int = 0) -> bytes:
+    """An arbitrary frame addressed to *host* (so its NIC accepts it)."""
+    return bytes(host.mac.packed) + bytes([noise % 256]) * 58
+
+
+class TestPooledEventHandles:
+    def test_fired_pooled_handle_is_recycled_and_reused(self, sim):
+        fired = []
+        first = sim.after(10, lambda: fired.append(1), pooled=True)
+        sim.run_until(20)
+        second = sim.after(10, lambda: fired.append(2), pooled=True)
+        assert second is first  # same object, drawn from the freelist
+        sim.run_until(40)
+        assert fired == [1, 2]
+
+    def test_unpooled_handles_are_never_recycled(self, sim):
+        first = sim.after(10, lambda: None)
+        sim.run_until(20)
+        second = sim.after(10, lambda: None)
+        assert second is not first
+
+    def test_trace_hooks_suppress_recycling(self, sim):
+        """A trace hook may retain the handle for post-run inspection, so
+        recycling must back off while any hook is registered."""
+        seen = []
+        sim.add_trace_hook(seen.append)
+        first = sim.after(10, lambda: None, pooled=True)
+        sim.run_until(20)
+        second = sim.after(10, lambda: None, pooled=True)
+        assert second is not first
+        assert first in seen
+
+    def test_recycled_handle_ordering_stays_deterministic(self, sim):
+        """Reused handles get a fresh sequence number, so same-instant
+        ties still fire in scheduling order."""
+        order = []
+        for _ in range(3):  # prime the freelist
+            sim.after(1, lambda: None, pooled=True)
+        sim.run_until(5)
+        for i in range(6):
+            sim.after(10, lambda i=i: order.append(i), pooled=True)
+        sim.run_until(20)
+        assert order == list(range(6))
+
+
+class TestDriverFramePool:
+    def test_steady_state_reuses_one_job_object(self, sim):
+        _, h1, h2 = make_two_hosts(sim)
+        pool = h1.driver.pool
+        got = []
+        h2.udp.bind(9).on_receive = lambda p, ip, port: got.append(p)
+        sender = h1.udp.bind(0)
+        sender.sendto(b"a" * 32, h2.ip, 9)
+        sim.run_until(ms(10))
+        assert len(got) == 1
+        first_free = list(pool._free)
+        assert first_free  # the tx job came back after firing
+        sender.sendto(b"b" * 32, h2.ip, 9)
+        sim.run_until(ms(20))
+        assert len(got) == 2
+        assert list(pool._free) == first_free  # reused, not regrown
+
+    def test_released_job_drops_its_frame_reference(self, sim):
+        _, h1, h2 = make_two_hosts(sim)
+        pool = h1.driver.pool
+        h1.udp.bind(0).sendto(b"c" * 32, h2.ip, 9)
+        sim.run_until(ms(10))
+        assert all(job.frame is None for job in pool._free)
+
+    def test_crash_discards_the_in_flight_job(self, sim):
+        """A frame inside the driver's rx window when the host crashes:
+        the job still fires (and the dead NIC drops the frame, same as the
+        closure-based path did) but it must NOT be recycled into the
+        rebooted node's pool."""
+        _, h1, h2 = make_two_hosts(sim)
+        pool = h2.driver.pool
+        h2.nic.deliver(frame_to(h2))  # parks an rx job
+        epoch_before = pool.epoch
+        h2.crash()
+        assert pool.epoch == epoch_before + 1
+        assert pool.free_count == 0
+        sim.run_until(seconds(1))  # the stale job fires into the dead NIC
+        assert h2.nic.down_drops == 1
+        assert pool.free_count == 0  # stale release was discarded
+
+    def test_rebooted_node_never_reuses_pre_crash_jobs(self, sim):
+        _, h1, h2 = make_two_hosts(sim)
+        pool = h2.driver.pool
+        got = []
+        h2.udp.bind(9).on_receive = lambda p, ip, port: got.append(p)
+        h1.udp.bind(0).sendto(b"x" * 32, h2.ip, 9)
+        sim.run_until(ms(10))
+        assert got  # traffic flowed, so the pool holds used jobs
+        pre_crash_jobs = list(pool._free)  # strong refs keep ids valid
+        assert pre_crash_jobs
+        h2.crash()
+        h2.reboot()
+        got.clear()
+        h2.udp.bind(9).on_receive = lambda p, ip, port: got.append(p)
+        h1.udp.bind(0).sendto(b"y" * 32, h2.ip, 9)
+        sim.run_until(ms(20))
+        assert got == [b"y" * 32]
+        post_ids = {id(job) for job in pool._free}
+        assert not post_ids & {id(job) for job in pre_crash_jobs}

@@ -7,12 +7,15 @@ The paper's front-end accepts scripts "through a command line interface"
     python -m repro tables scenario.fsl            # dump the six tables
     python -m repro lint   scenario.fsl --strict   # static analysis
     python -m repro sweep  scenario.fsl --seeds 0,1,2 --workers 4
+    python -m repro worker --port 7777 --slots 4      # serve a fleet slot
 
 ``sweep`` runs a whole campaign — the Cartesian product of seeds, media
 and control-loss rates — on the testbed reconstructed from the script's
 own node table, compiled once and fanned out over a process pool with a
-deterministic merge (docs/SWEEP.md).  Bespoke topologies and workloads
-remain Python code by design (see examples/).
+deterministic merge (docs/SWEEP.md).  With ``--backend tcp --hosts
+host:port,...`` the same campaign dispatches to a fleet of ``repro
+worker`` processes instead, byte-identical rows included.  Bespoke
+topologies and workloads remain Python code by design (see examples/).
 """
 
 from __future__ import annotations
@@ -229,6 +232,7 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         resume=resume,
         cache_dir=args.cache_dir,
         task_timeout=args.task_timeout,
+        hosts=args.hosts,
     )
     if args.json:
         print(
@@ -252,6 +256,39 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     else:
         print(outcome.render(), file=out)
     return 0 if outcome.passed else 1
+
+
+def cmd_worker(args: argparse.Namespace, out) -> int:
+    import signal as _signal
+
+    from .sweep.remote import WorkerServer
+
+    server = WorkerServer(host=args.host, port=args.port, slots=args.slots)
+    # The parent discovers an ephemeral port (--port 0) from this line;
+    # tests and CI scrape it, so the format is part of the interface.
+    print(f"LISTENING {server.host}:{server.port}", file=out)
+    try:
+        out.flush()
+    except (AttributeError, OSError):
+        pass
+
+    def _shutdown(signum, frame):  # noqa: ANN001 — signal handler signature
+        server.stop()
+
+    for signame in ("SIGTERM", "SIGINT"):
+        if hasattr(_signal, signame):
+            try:
+                _signal.signal(getattr(_signal, signame), _shutdown)
+            except (ValueError, OSError):
+                pass  # non-main thread: rely on KeyboardInterrupt
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print(
+        f"worker stopped after {server.campaigns_served} campaign(s)", file=out
+    )
+    return 0
 
 
 def cmd_analyze(args: argparse.Namespace, out) -> int:
@@ -412,10 +449,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop the campaign at the first failed run",
     )
     sweep.add_argument(
-        "--backend", default="parallel", choices=("serial", "parallel")
+        "--backend",
+        default=None,
+        help="execution backend by registry name (serial, parallel, tcp, "
+        "or any registered SweepExecutor; default: REPRO_SWEEP_BACKEND "
+        "or parallel)",
     )
     sweep.add_argument(
         "--workers", type=int, default=None, help="process-pool size (default: cores, max 4)"
+    )
+    sweep.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="worker fleet for the tcp backend, e.g. "
+        "127.0.0.1:7777,10.0.0.2:7777 (default: REPRO_SWEEP_HOSTS)",
     )
     sweep.add_argument(
         "--max-time",
@@ -459,6 +507,34 @@ def build_parser() -> argparse.ArgumentParser:
         "retried with backoff, then recorded as a TIMEOUT row",
     )
     sweep.set_defaults(handler=cmd_sweep)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve sweep tasks to a remote parent: N local process slots "
+        "over the TCP job protocol (see docs/SWEEP.md)",
+    )
+    worker.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to listen on (default 127.0.0.1; the protocol "
+        "trusts its peers — bind wider interfaces only on networks you "
+        "control)",
+    )
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to listen on (default 0: pick an ephemeral port and "
+        "print it as 'LISTENING host:port')",
+    )
+    worker.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="local process slots served (default: cores, max 4, or "
+        "REPRO_SWEEP_WORKERS)",
+    )
+    worker.set_defaults(handler=cmd_worker)
 
     analyze = sub.add_parser(
         "analyze",

@@ -33,9 +33,23 @@ from .runner import (
     DEFAULT_RETRIES,
     DEFAULT_TIMEOUT_BACKOFF,
     DEFAULT_TIMEOUT_RETRIES,
+    ExecutorContext,
+    SweepExecutor,
     Watchdog,
+    backend_names,
+    default_backend,
     default_workers,
+    register_backend,
+    resolve_backend,
     run_sweep,
+)
+from .remote import (
+    HOSTS_ENV,
+    PROTOCOL_VERSION,
+    TcpExecutor,
+    WorkerServer,
+    default_hosts,
+    parse_hosts,
 )
 from .spec import (
     SweepError,
@@ -49,6 +63,12 @@ from .spec import (
 
 __all__ = [
     "BACKENDS",
+    "HOSTS_ENV",
+    "PROTOCOL_VERSION",
+    "TcpExecutor",
+    "WorkerServer",
+    "default_hosts",
+    "parse_hosts",
     "DEFAULT_RETRIES",
     "DEFAULT_TIMEOUT_BACKOFF",
     "DEFAULT_TIMEOUT_RETRIES",
@@ -56,14 +76,20 @@ __all__ = [
     "JournalState",
     "JournalWriter",
     "ResultCache",
+    "ExecutorContext",
     "SweepError",
+    "SweepExecutor",
     "SweepOutcome",
     "SweepResult",
     "SweepSpec",
     "SweepTask",
     "Watchdog",
+    "backend_names",
+    "default_backend",
     "default_workers",
     "derive_seed",
+    "register_backend",
+    "resolve_backend",
     "fig7_point_task",
     "fig8_point_task",
     "read_journal",

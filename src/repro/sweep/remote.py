@@ -1,0 +1,1020 @@
+"""Distributed sweep executor: a multi-host TCP job protocol.
+
+The ``tcp`` backend dispatches campaign cells to a fleet of ``repro
+worker`` processes (:class:`WorkerServer`, one per host, each serving N
+local slots) over a small length-prefixed, CRC-framed job protocol.  The
+parent is a **pull-based scheduler**: workers request work whenever a slot
+goes idle, so a heterogeneous fleet self-balances — a fast host simply
+asks more often.  Rows stream back as they complete and re-enter
+:func:`repro.sweep.run_sweep`'s deterministic task-order merge, so the
+``tcp`` backend's ``canonical_bytes()`` is byte-identical to the serial
+reference's (asserted in ``tests/sweep/test_remote.py``).
+
+Wire format — every message is one frame::
+
+    +--------+------+----------+------------------+----------+
+    | magic  | type | length   | payload          | crc32    |
+    | "VWJP" | u8   | u32 (BE) | length bytes     | u32 (BE) |
+    +--------+------+----------+------------------+----------+
+
+The CRC covers the type byte plus the payload, so a corrupted or
+truncated frame is detected before anything is deserialised.  Control
+messages (HELLO/WELCOME/GET/ROW/HEARTBEAT/ERROR/BYE) carry canonical
+JSON; PROGRAM and TASK carry pickles (task functions travel by module
+reference, compiled programs by value).  **The protocol therefore trusts
+the fleet** — run workers only on hosts you control, exactly like any
+other pickle-based job queue.
+
+Program shipping is content-addressed: a :class:`CompiledProgram` param
+is replaced in the wire task by a :class:`ProgramRef` carrying its
+:meth:`~repro.core.tables.CompiledProgram.content_hash`, and the parent
+pushes the program bytes to a worker at most once per campaign — the
+10k-cell grid over one script ships one program per host, not 10k.
+
+Failure model: a worker whose socket dies or whose heartbeats stop is
+declared lost; its in-flight tasks are re-queued onto the surviving fleet
+with a bounded retry budget (``retries``, same knob as the pool backend)
+before becoming a deterministic ``FAILED`` row.  A worker whose *slot
+process* dies (hard crash inside a task) reports the casualty with an
+ERROR frame and keeps serving — the parent applies the same retry budget.
+SIGINT in the parent aborts gracefully: pending cells stay unsent, BYE is
+broadcast, and the outcome truthfully reports ``aborted=interrupted=True``
+covering exactly the journaled rows.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import selectors
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from .runner import (
+    BackendRun,
+    ExecutorContext,
+    SweepExecutor,
+    Watchdog,
+    _pool_context,
+    _worker_init,
+    default_workers,
+    execute_task,
+    _is_failure,
+)
+from .spec import SweepError, SweepResult, SweepTask
+
+# ---------------------------------------------------------------------------
+# Protocol constants
+# ---------------------------------------------------------------------------
+
+MAGIC = b"VWJP"
+PROTOCOL_VERSION = 1
+
+#: frame payloads larger than this are protocol errors, not allocations.
+MAX_FRAME = 64 * 1024 * 1024
+
+MSG_HELLO = 1  # parent -> worker: version + campaign meta + watchdog
+MSG_WELCOME = 2  # worker -> parent: version + slot count
+MSG_GET = 3  # worker -> parent: one idle slot requests one task
+MSG_PROGRAM = 4  # parent -> worker: content-addressed compiled program
+MSG_TASK = 5  # parent -> worker: one campaign cell
+MSG_ROW = 6  # worker -> parent: one completed result row
+MSG_HEARTBEAT = 7  # worker -> parent: liveness
+MSG_ERROR = 8  # worker -> parent: a cell died worker-side (slot crash)
+MSG_BYE = 9  # either direction: orderly goodbye
+
+_HEADER = struct.Struct("!4sBI")
+_CRC = struct.Struct("!I")
+_INDEX = struct.Struct("!I")
+
+#: Environment knob for the worker fleet; an explicit ``hosts=`` argument
+#: always wins (precedence: argument > env — same convention as
+#: ``REPRO_SWEEP_WORKERS``).
+HOSTS_ENV = "REPRO_SWEEP_HOSTS"
+
+#: Timing knobs (seconds), env-overridable so tests can tighten them.
+HEARTBEAT_INTERVAL_ENV = "REPRO_SWEEP_HEARTBEAT_S"
+HEARTBEAT_TIMEOUT_ENV = "REPRO_SWEEP_HEARTBEAT_TIMEOUT_S"
+CONNECT_TIMEOUT_ENV = "REPRO_SWEEP_CONNECT_TIMEOUT_S"
+DEFAULT_HEARTBEAT_INTERVAL_S = 2.0
+DEFAULT_HEARTBEAT_TIMEOUT_S = 10.0
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
+#: Socket send timeout: a peer that cannot drain a frame in this long is
+#: as good as dead.
+_SEND_TIMEOUT_S = 30.0
+
+
+def _env_seconds(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise SweepError(f"{name} must be a number of seconds, got {value!r}") from None
+    if parsed <= 0:
+        raise SweepError(f"{name} must be > 0 seconds, got {value!r}")
+    return parsed
+
+
+class ProtocolError(SweepError):
+    """A peer spoke something that is not the VirtualWire job protocol."""
+
+
+class ConnectionLost(ProtocolError):
+    """The TCP stream ended mid-conversation (EOF or reset)."""
+
+
+# ---------------------------------------------------------------------------
+# Host parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_hosts(value: Any) -> List[Tuple[str, int]]:
+    """Normalise a fleet description into ``[(host, port), ...]``.
+
+    Accepts a ``"host:port,host:port"`` string, an iterable of such
+    strings, or an iterable of ``(host, port)`` pairs.  Mis-specified
+    entries raise :class:`SweepError` — same convention as the
+    ``REPRO_SWEEP_WORKERS`` validation: never a silent fallback.
+    """
+    if isinstance(value, str):
+        entries: Sequence[Any] = [v for v in value.split(",") if v.strip() != ""]
+    else:
+        entries = list(value)
+    hosts: List[Tuple[str, int]] = []
+    for entry in entries:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            host, port = entry
+        elif isinstance(entry, str):
+            host, sep, port = entry.rpartition(":")
+            if sep == "" or host == "":
+                raise SweepError(
+                    f"worker host {entry!r} must be 'host:port' (e.g. "
+                    f"127.0.0.1:7777)"
+                )
+        else:
+            raise SweepError(
+                f"worker host entry must be 'host:port' or (host, port), "
+                f"got {entry!r}"
+            )
+        try:
+            port = int(port)
+        except (TypeError, ValueError):
+            raise SweepError(
+                f"worker host {entry!r}: port must be an integer"
+            ) from None
+        if not 1 <= port <= 65535:
+            raise SweepError(
+                f"worker host {entry!r}: port must be in 1..65535, got {port}"
+            )
+        hosts.append((str(host), port))
+    if not hosts:
+        raise SweepError("worker host list is empty")
+    return hosts
+
+
+def default_hosts() -> Optional[List[Tuple[str, int]]]:
+    """The fleet named by ``REPRO_SWEEP_HOSTS``, or ``None`` when unset."""
+    env = os.environ.get(HOSTS_ENV)
+    if env is None or env == "":
+        return None
+    try:
+        return parse_hosts(env)
+    except SweepError as exc:
+        raise SweepError(f"{HOSTS_ENV}: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(mtype: int, payload: bytes) -> bytes:
+    """One wire frame: header, payload, CRC over (type byte + payload)."""
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte protocol limit"
+        )
+    crc = _crc32_frame(mtype, payload)
+    return _HEADER.pack(MAGIC, mtype, len(payload)) + payload + _CRC.pack(crc)
+
+
+def _crc32_frame(mtype: int, payload: bytes) -> int:
+    import zlib
+
+    return zlib.crc32(bytes((mtype,)) + payload) & 0xFFFFFFFF
+
+
+class FrameBuffer:
+    """Incremental frame parser for the parent's non-blocking sockets."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def next_frame(self) -> Optional[Tuple[int, bytes]]:
+        """Pop one complete frame, or ``None`` if more bytes are needed.
+
+        Raises :class:`ProtocolError` on bad magic, oversized length or a
+        CRC mismatch — the connection is unrecoverable after that.
+        """
+        if len(self._buffer) < _HEADER.size:
+            return None
+        magic, mtype, length = _HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise ProtocolError(
+                f"bad frame magic {bytes(magic)!r} (expected {MAGIC!r})"
+            )
+        if length > MAX_FRAME:
+            raise ProtocolError(
+                f"frame length {length} exceeds the {MAX_FRAME}-byte limit"
+            )
+        total = _HEADER.size + length + _CRC.size
+        if len(self._buffer) < total:
+            return None
+        payload = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
+        (crc,) = _CRC.unpack_from(self._buffer, _HEADER.size + length)
+        del self._buffer[:total]
+        if crc != _crc32_frame(mtype, payload):
+            raise ProtocolError("frame CRC mismatch")
+        return mtype, payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < count:
+        try:
+            chunk = sock.recv(count - len(chunks))
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise ConnectionLost(f"connection lost mid-frame: {exc}") from None
+        if not chunk:
+            raise ConnectionLost("connection closed mid-frame")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def read_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Blocking read of one complete frame (the worker's receive path)."""
+    header = _recv_exact(sock, _HEADER.size)
+    magic, mtype, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME}-byte limit"
+        )
+    payload = _recv_exact(sock, length)
+    (crc,) = _CRC.unpack(_recv_exact(sock, _CRC.size))
+    if crc != _crc32_frame(mtype, payload):
+        raise ProtocolError("frame CRC mismatch")
+    return mtype, payload
+
+
+def _json_payload(obj: Any) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _parse_json(payload: bytes, what: str) -> Any:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable {what} payload: {exc}") from None
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that refuses the classic RCE gadget modules.
+
+    The protocol already trusts the fleet (documented above), but there
+    is no reason to let a stray byte stream reach ``os.system`` — task
+    functions and compiled programs only ever live under ``repro`` or the
+    caller's own campaign modules, so the blocklist costs nothing.
+    """
+
+    def find_class(self, module: str, name: str) -> Any:
+        qualified = f"{module}.{name}"
+        if module in ("os", "subprocess", "posix", "nt") or qualified in (
+            "builtins.eval",
+            "builtins.exec",
+            "builtins.compile",
+            "builtins.open",
+        ):
+            raise ProtocolError(
+                f"refusing to unpickle {qualified} from the job stream"
+            )
+        return super().find_class(module, name)
+
+
+def _loads(payload: bytes, what: str) -> Any:
+    try:
+        return _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except ProtocolError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — any unpickle failure is protocol-level
+        raise ProtocolError(f"undecodable {what} payload: {exc!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed program shipping
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProgramRef:
+    """Wire placeholder for a :class:`CompiledProgram` param: its content
+    hash.  The worker swaps the real program back in from its
+    per-campaign store (pushed at most once per worker)."""
+
+    hash: str
+
+
+def export_task(task: SweepTask) -> Tuple[SweepTask, Dict[str, Any]]:
+    """Split a task into its wire form and the programs it references.
+
+    Every :class:`CompiledProgram` param becomes a :class:`ProgramRef`;
+    the returned mapping is ``content_hash -> program`` for the scheduler
+    to push (once per worker) before the task.
+    """
+    from ..core.tables import CompiledProgram  # local: avoid import cycle
+
+    programs: Dict[str, Any] = {}
+    params: Dict[str, Any] = {}
+    for key, value in task.params.items():
+        if isinstance(value, CompiledProgram):
+            content = value.content_hash()
+            programs[content] = value
+            params[key] = ProgramRef(content)
+        else:
+            params[key] = value
+    wire = SweepTask(
+        index=task.index,
+        name=task.name,
+        seed=task.seed,
+        fn=task.fn,
+        params=params,
+    )
+    return wire, programs
+
+
+def resolve_task(task: SweepTask, programs: Dict[str, Any]) -> SweepTask:
+    """Swap :class:`ProgramRef` params back to real programs (worker side).
+
+    Raises :class:`ProtocolError` when a referenced program was never
+    pushed — a scheduler bug, not a task failure.
+    """
+    params: Dict[str, Any] = {}
+    for key, value in task.params.items():
+        if isinstance(value, ProgramRef):
+            if value.hash not in programs:
+                raise ProtocolError(
+                    f"task {task.index} references program "
+                    f"{value.hash[:12]}… which was never pushed"
+                )
+            params[key] = programs[value.hash]
+        else:
+            params[key] = value
+    task.params = params
+    return task
+
+
+# ---------------------------------------------------------------------------
+# The worker: one host serving N local slots
+# ---------------------------------------------------------------------------
+
+
+class WorkerServer:
+    """``repro worker``: serve campaign cells over N local process slots.
+
+    Listens for one parent at a time (campaigns are sequential); for each
+    connection it exchanges HELLO/WELCOME, spins up a fresh
+    :class:`ProcessPoolExecutor` of ``slots`` workers, announces one GET
+    per slot, and then executes TASK frames as they arrive — sending a
+    ROW (and a fresh GET) per completion and heartbeating in the
+    background.  The per-connection program store means a parent pushes
+    each compiled program at most once per campaign.
+
+    A slot process that hard-dies breaks the local pool: the casualty is
+    reported upstream as an ERROR frame (the parent re-queues it against
+    its retry budget) and the pool is rebuilt, so one poisoned cell
+    cannot take the host out of the fleet.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slots: Optional[int] = None,
+    ) -> None:
+        if slots is not None and slots < 1:
+            raise SweepError(f"worker slots must be >= 1, got {slots}")
+        self.slots = slots if slots is not None else default_workers()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        #: campaigns served since start (observability / tests).
+        self.campaigns_served = 0
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def serve_forever(self) -> None:
+        """Accept parents until :meth:`stop` (or the listener dies)."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _addr = self._listener.accept()
+                except OSError:
+                    break  # listener closed by stop()
+                try:
+                    self._serve_connection(conn)
+                    self.campaigns_served += 1
+                except (ProtocolError, OSError):
+                    pass  # a broken parent must not kill the worker
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+        finally:
+            self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        mtype, payload = read_frame(conn)
+        if mtype != MSG_HELLO:
+            raise ProtocolError(f"expected HELLO, got message type {mtype}")
+        hello = _parse_json(payload, "HELLO")
+        version = hello.get("version")
+        if version != PROTOCOL_VERSION:
+            conn.sendall(
+                encode_frame(
+                    MSG_BYE,
+                    _json_payload(
+                        {
+                            "error": f"protocol version mismatch: parent "
+                            f"speaks {version}, worker speaks "
+                            f"{PROTOCOL_VERSION}"
+                        }
+                    ),
+                )
+            )
+            return
+        watchdog = None
+        config = hello.get("watchdog")
+        if config:
+            watchdog = Watchdog(
+                timeout=float(config["timeout"]),
+                retries=int(config.get("retries", 0)),
+                backoff=float(config.get("backoff", 0.0)),
+            )
+
+        send_lock = threading.Lock()
+        alive = threading.Event()
+        alive.set()
+
+        def send(mtype: int, payload: bytes) -> None:
+            frame = encode_frame(mtype, payload)
+            with send_lock:
+                conn.sendall(frame)
+
+        send(
+            MSG_WELCOME,
+            _json_payload({"version": PROTOCOL_VERSION, "slots": self.slots}),
+        )
+
+        interval = _env_seconds(
+            HEARTBEAT_INTERVAL_ENV, DEFAULT_HEARTBEAT_INTERVAL_S
+        )
+
+        def heartbeat() -> None:
+            while alive.is_set():
+                if self._stop.wait(interval):
+                    break
+                if not alive.is_set():
+                    break
+                try:
+                    send(MSG_HEARTBEAT, b"{}")
+                except OSError:
+                    break
+
+        beat = threading.Thread(target=heartbeat, daemon=True)
+        beat.start()
+
+        programs: Dict[str, Any] = {}
+        pool = ProcessPoolExecutor(
+            max_workers=self.slots,
+            mp_context=_pool_context(),
+            initializer=_worker_init,
+        )
+
+        def finish(index: int, future: Any) -> None:
+            """Completion callback (executor thread): ROW or ERROR, then
+            ask for more work."""
+            if not alive.is_set():
+                return
+            try:
+                try:
+                    row = future.result()
+                except BaseException as exc:  # slot process died
+                    send(
+                        MSG_ERROR,
+                        _json_payload(
+                            {
+                                "index": index,
+                                "error": f"worker died: {type(exc).__name__}",
+                                "detail": f"slot process executing task "
+                                f"{index} died: {exc!r}",
+                            }
+                        ),
+                    )
+                else:
+                    send(MSG_ROW, _json_payload(row.to_record()))
+                send(MSG_GET, b"{}")
+            except OSError:
+                alive.clear()  # parent is gone; stop reporting
+
+        try:
+            for _ in range(self.slots):
+                send(MSG_GET, b"{}")
+            while True:
+                mtype, payload = read_frame(conn)
+                if mtype == MSG_PROGRAM:
+                    shipment = _loads(payload, "PROGRAM")
+                    programs[str(shipment["hash"])] = shipment["program"]
+                elif mtype == MSG_TASK:
+                    (index,) = _INDEX.unpack_from(payload)
+                    try:
+                        task = _loads(payload[_INDEX.size:], "TASK")
+                        task = resolve_task(task, programs)
+                    except ProtocolError as exc:
+                        # Undeliverable cell: report it instead of dying —
+                        # the parent owns the retry/fail decision.
+                        send(
+                            MSG_ERROR,
+                            _json_payload(
+                                {
+                                    "index": index,
+                                    "error": "worker died: UndeliverableTask",
+                                    "detail": str(exc),
+                                }
+                            ),
+                        )
+                        send(MSG_GET, b"{}")
+                        continue
+                    try:
+                        future = pool.submit(execute_task, task, watchdog)
+                    except BrokenProcessPool:
+                        # A previous casualty broke the pool: rebuild and
+                        # retry the submission once on the fresh pool.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(
+                            max_workers=self.slots,
+                            mp_context=_pool_context(),
+                            initializer=_worker_init,
+                        )
+                        future = pool.submit(execute_task, task, watchdog)
+                    future.add_done_callback(
+                        lambda fut, idx=task.index: finish(idx, fut)
+                    )
+                elif mtype == MSG_BYE:
+                    break
+                elif mtype in (MSG_HEARTBEAT, MSG_GET):
+                    continue  # tolerated, not part of the parent's grammar
+                else:
+                    raise ProtocolError(
+                        f"unexpected message type {mtype} from parent"
+                    )
+        except ConnectionLost:
+            pass  # parent died (SIGKILL, crash): clean up and re-accept
+        finally:
+            alive.clear()
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------------
+# The parent: pull-based scheduler over the fleet
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Conn:
+    """Parent-side state for one worker connection."""
+
+    sock: socket.socket
+    address: str
+    slots: int = 0
+    idle: int = 0
+    pushed: Set[str] = field(default_factory=set)
+    inflight: Dict[int, SweepTask] = field(default_factory=dict)
+    buffer: FrameBuffer = field(default_factory=FrameBuffer)
+    last_seen: float = field(default_factory=time.monotonic)
+
+
+class TcpExecutor(SweepExecutor):
+    """The ``tcp`` backend: campaign cells over a ``repro worker`` fleet."""
+
+    def initial_workers(self, workers: Optional[int]) -> int:
+        if workers is not None and workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        # The true worker count is the fleet's advertised slot total,
+        # known only after the HELLO exchange; 0 is the placeholder.
+        return 0
+
+    def run(self, tasks: List[SweepTask], ctx: ExecutorContext) -> BackendRun:
+        hosts = ctx.hosts
+        if hosts is None:
+            hosts = default_hosts()
+        else:
+            hosts = parse_hosts(hosts)
+        if not hosts:
+            raise SweepError(
+                "the tcp backend needs a worker fleet: pass hosts= "
+                "(--hosts host:port,...) or set REPRO_SWEEP_HOSTS"
+            )
+        scheduler = _Scheduler(tasks, ctx, hosts)
+        return scheduler.run()
+
+
+class _Scheduler:
+    """One campaign's pull-based dispatch loop."""
+
+    def __init__(
+        self,
+        tasks: List[SweepTask],
+        ctx: ExecutorContext,
+        hosts: List[Tuple[str, int]],
+    ) -> None:
+        self.ctx = ctx
+        self.tasks = tasks
+        self.pending: Deque[SweepTask] = deque(
+            sorted(tasks, key=lambda task: task.index)
+        )
+        self.rows: Dict[int, SweepResult] = {}
+        self.losses: Dict[int, int] = {}
+        self.loss_notes: Dict[int, str] = {}
+        self.started: Dict[int, float] = {}
+        self.hosts = hosts
+        self.conns: List[_Conn] = []
+        self.selector = selectors.DefaultSelector()
+        self.aborted = False
+        self.interrupted = False
+        self.heartbeat_timeout = _env_seconds(
+            HEARTBEAT_TIMEOUT_ENV, DEFAULT_HEARTBEAT_TIMEOUT_S
+        )
+
+    # -- connection management -----------------------------------------
+
+    def _connect_fleet(self) -> None:
+        deadline = time.monotonic() + _env_seconds(
+            CONNECT_TIMEOUT_ENV, DEFAULT_CONNECT_TIMEOUT_S
+        )
+        errors: List[str] = []
+        meta = self.ctx.meta or {}
+        watchdog = self.ctx.watchdog
+        hello = _json_payload(
+            {
+                "version": PROTOCOL_VERSION,
+                "spec_name": meta.get("name"),
+                "base_seed": meta.get("base_seed"),
+                "tasks": len(self.tasks),
+                "watchdog": (
+                    {
+                        "timeout": watchdog.timeout,
+                        "retries": watchdog.retries,
+                        "backoff": watchdog.backoff,
+                    }
+                    if watchdog
+                    else None
+                ),
+            }
+        )
+        for host, port in self.hosts:
+            address = f"{host}:{port}"
+            sock: Optional[socket.socket] = None
+            while True:
+                try:
+                    sock = socket.create_connection(
+                        (host, port), timeout=_SEND_TIMEOUT_S
+                    )
+                    break
+                except OSError as exc:
+                    if time.monotonic() >= deadline:
+                        errors.append(f"{address}: {exc}")
+                        sock = None
+                        break
+                    time.sleep(0.05)
+            if sock is None:
+                continue
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock.sendall(encode_frame(MSG_HELLO, hello))
+                mtype, payload = read_frame(sock)
+                if mtype == MSG_BYE:
+                    reason = _parse_json(payload, "BYE").get("error", "refused")
+                    raise ProtocolError(f"{address}: {reason}")
+                if mtype != MSG_WELCOME:
+                    raise ProtocolError(
+                        f"{address}: expected WELCOME, got type {mtype}"
+                    )
+                welcome = _parse_json(payload, "WELCOME")
+                if welcome.get("version") != PROTOCOL_VERSION:
+                    raise ProtocolError(
+                        f"{address}: protocol version mismatch "
+                        f"(worker speaks {welcome.get('version')}, parent "
+                        f"speaks {PROTOCOL_VERSION})"
+                    )
+                conn = _Conn(
+                    sock=sock,
+                    address=address,
+                    slots=max(1, int(welcome.get("slots", 1))),
+                )
+                sock.settimeout(_SEND_TIMEOUT_S)
+                self.selector.register(sock, selectors.EVENT_READ, conn)
+                self.conns.append(conn)
+            except (ProtocolError, OSError) as exc:
+                errors.append(f"{address}: {exc}")
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        if not self.conns:
+            raise SweepError(
+                "tcp backend could not reach any worker: "
+                + "; ".join(errors or ["no hosts"])
+            )
+        self.ctx.effective_workers = sum(conn.slots for conn in self.conns)
+
+    def _send(self, conn: _Conn, mtype: int, payload: bytes) -> None:
+        conn.sock.sendall(encode_frame(mtype, payload))
+
+    def _lose(self, conn: _Conn, reason: str) -> None:
+        """Declare a worker dead: re-queue its in-flight cells against the
+        retry budget, fail the ones that exhausted it."""
+        if conn not in self.conns:
+            return
+        self.conns.remove(conn)
+        try:
+            self.selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        requeued: List[SweepTask] = []
+        for index, task in sorted(conn.inflight.items()):
+            self._record_casualty(task, f"worker {conn.address} lost: {reason}")
+            if index in self.rows:
+                continue  # retry budget exhausted: FAILED row already landed
+            requeued.append(task)
+        conn.inflight.clear()
+        if requeued:
+            self.pending = deque(
+                sorted(
+                    list(self.pending) + requeued, key=lambda task: task.index
+                )
+            )
+
+    def _record_casualty(self, task: SweepTask, note: str) -> None:
+        """Count one lost execution of *task*; emit the deterministic
+        FAILED row once the budget (``retries`` re-queues) is spent."""
+        index = task.index
+        self.losses[index] = self.losses.get(index, 0) + 1
+        self.loss_notes[index] = note
+        if self.losses[index] <= self.ctx.retries:
+            return
+        row = SweepResult(
+            index=index,
+            name=task.name,
+            seed=task.seed,
+            status=SweepResult.FAILED,
+            error="worker died: connection lost",
+            error_detail=(
+                f"task {index} ({task.name!r}) lost {self.losses[index]} "
+                f"worker(s); last: {note}"
+            ),
+            attempts=self.losses[index],
+            wall_seconds=max(
+                0.0, time.perf_counter() - self.started.get(index, time.perf_counter())
+            ),
+        )
+        self._land(row)
+
+    def _land(self, row: SweepResult) -> None:
+        self.rows[row.index] = row
+        self.ctx.on_row(row)
+        if self.ctx.fail_fast and _is_failure(row):
+            self.aborted = True
+
+    # -- dispatch -------------------------------------------------------
+
+    def _assign(self, conn: _Conn, task: SweepTask) -> bool:
+        """Ship one task to one idle slot; False when the send fails (the
+        connection is then declared lost and the task re-queued)."""
+        wire, programs = export_task(task)
+        try:
+            for content, program in programs.items():
+                if content not in conn.pushed:
+                    self._send(
+                        conn,
+                        MSG_PROGRAM,
+                        pickle.dumps(
+                            {"hash": content, "program": program},
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ),
+                    )
+                    conn.pushed.add(content)
+            self._send(
+                conn,
+                MSG_TASK,
+                _INDEX.pack(task.index)
+                + pickle.dumps(wire, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        except OSError as exc:
+            conn.inflight.pop(task.index, None)
+            self._lose(conn, f"send failed: {exc}")
+            self.pending = deque(
+                sorted(list(self.pending) + [task], key=lambda t: t.index)
+            )
+            return False
+        conn.idle -= 1
+        conn.inflight[task.index] = task
+        self.started.setdefault(task.index, time.perf_counter())
+        return True
+
+    def _dispatch(self) -> None:
+        if self.aborted:
+            return
+        progress = True
+        while progress and self.pending:
+            progress = False
+            for conn in list(self.conns):
+                if not self.pending:
+                    break
+                if conn.idle > 0:
+                    task = self.pending.popleft()
+                    if self._assign(conn, task):
+                        progress = True
+
+    # -- frame handling -------------------------------------------------
+
+    def _handle_frame(self, conn: _Conn, mtype: int, payload: bytes) -> None:
+        conn.last_seen = time.monotonic()
+        if mtype == MSG_GET:
+            conn.idle += 1
+        elif mtype == MSG_ROW:
+            record = _parse_json(payload, "ROW")
+            row = SweepResult.from_record(record)
+            task = conn.inflight.pop(row.index, None)
+            if task is None or row.index in self.rows:
+                return  # stale row (already failed via retry budget)
+            self._land(row)
+        elif mtype == MSG_ERROR:
+            report = _parse_json(payload, "ERROR")
+            index = int(report.get("index", -1))
+            task = conn.inflight.pop(index, None)
+            if task is None or index in self.rows:
+                return
+            self._record_casualty(
+                task,
+                f"worker {conn.address} reported: "
+                f"{report.get('detail') or report.get('error')}",
+            )
+            if index not in self.rows:
+                self.pending = deque(
+                    sorted(list(self.pending) + [task], key=lambda t: t.index)
+                )
+        elif mtype == MSG_HEARTBEAT:
+            pass
+        elif mtype == MSG_BYE:
+            self._lose(conn, "worker said BYE mid-campaign")
+        else:
+            raise ProtocolError(f"unexpected message type {mtype} from worker")
+
+    def _pump(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            self._lose(conn, f"recv failed: {exc}")
+            return
+        if not data:
+            self._lose(conn, "connection closed")
+            return
+        conn.buffer.feed(data)
+        while True:
+            try:
+                frame = conn.buffer.next_frame()
+            except ProtocolError as exc:
+                self._lose(conn, str(exc))
+                return
+            if frame is None:
+                return
+            self._handle_frame(conn, *frame)
+            if conn not in self.conns:
+                return  # _handle_frame declared it lost
+
+    # -- the loop -------------------------------------------------------
+
+    def _done(self) -> bool:
+        if self.aborted:
+            return not any(conn.inflight for conn in self.conns)
+        return len(self.rows) == len(self.tasks)
+
+    def _check_liveness(self) -> None:
+        now = time.monotonic()
+        for conn in list(self.conns):
+            if now - conn.last_seen > self.heartbeat_timeout:
+                self._lose(
+                    conn,
+                    f"missed heartbeats for {now - conn.last_seen:.1f}s "
+                    f"(timeout {self.heartbeat_timeout:g}s)",
+                )
+
+    def _broadcast_bye(self) -> None:
+        for conn in list(self.conns):
+            try:
+                self._send(conn, MSG_BYE, b"{}")
+            except OSError:
+                pass
+            try:
+                self.selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self.conns.clear()
+        try:
+            self.selector.close()
+        except OSError:
+            pass
+
+    def run(self) -> BackendRun:
+        try:
+            self._connect_fleet()
+            self._dispatch()
+            while not self._done():
+                events = self.selector.select(timeout=0.2)
+                for key, _mask in events:
+                    self._pump(key.data)
+                self._check_liveness()
+                if self.pending and not self.conns and not self.aborted:
+                    raise SweepError(
+                        f"tcp backend lost every worker with "
+                        f"{len(self.pending)} task(s) still pending "
+                        f"(journaled rows are safe; resume with a live fleet)"
+                    )
+                if not self.conns:
+                    break  # aborted with the fleet gone: nothing to wait on
+                self._dispatch()
+        except KeyboardInterrupt:
+            # Graceful abort: the journal already holds every completed
+            # row; pending cells stay unsent, in-flight rows are dropped.
+            self.aborted = self.interrupted = True
+        finally:
+            self._broadcast_bye()
+        return self.rows, self.aborted, self.interrupted
+
+
+__all__ = [
+    "ConnectionLost",
+    "FrameBuffer",
+    "HOSTS_ENV",
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "ProgramRef",
+    "ProtocolError",
+    "TcpExecutor",
+    "WorkerServer",
+    "default_hosts",
+    "encode_frame",
+    "export_task",
+    "parse_hosts",
+    "read_frame",
+    "resolve_task",
+]

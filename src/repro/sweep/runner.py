@@ -1,11 +1,22 @@
-"""Campaign execution backends: serial reference and process pool.
+"""Campaign execution backends: a pluggable executor registry.
 
-``backend="serial"`` runs every task in the calling process, in task
-order — the reference implementation the differential test compares
-against.  ``backend="parallel"`` fans tasks out over a
-:class:`concurrent.futures.ProcessPoolExecutor`; because each task is an
-independent seeded simulation, the merged rows are byte-identical to the
-serial backend's (asserted in ``tests/sweep/test_runner.py``).
+Backends are :class:`SweepExecutor` implementations looked up by name in
+a registry (:func:`register_backend` / :func:`resolve_backend`), so new
+execution tiers plug in without touching :func:`run_sweep`:
+
+* ``backend="serial"`` runs every task in the calling process, in task
+  order — the reference implementation the differential tests compare
+  against;
+* ``backend="parallel"`` fans tasks out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* ``backend="tcp"`` (:mod:`repro.sweep.remote`, registered lazily by
+  entry-point string) dispatches tasks to a fleet of ``repro worker``
+  processes over a length-prefixed, CRC-framed TCP job protocol.
+
+Because each task is an independent seeded simulation and rows always
+merge in task order, the merged rows are byte-identical across every
+backend (asserted in ``tests/sweep/test_runner.py`` and
+``tests/sweep/test_remote.py``).
 
 Crash policy: a Python exception inside a task is caught **in the worker**
 and becomes a deterministic ``FAILED`` row (same row either backend).  A
@@ -63,6 +74,10 @@ DEFAULT_TIMEOUT_BACKOFF = 0.05
 #: always wins (precedence: argument > env > core-count default).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+#: Environment knob for the backend; an explicit ``backend=`` argument
+#: always wins (precedence: argument > env > ``"parallel"``).
+BACKEND_ENV = "REPRO_SWEEP_BACKEND"
+
 
 def default_workers() -> int:
     """Worker-count default: ``REPRO_SWEEP_WORKERS`` when set, else every
@@ -79,6 +94,21 @@ def default_workers() -> int:
             raise SweepError(f"{WORKERS_ENV} must be an integer >= 1, got {env!r}")
         return value
     return max(1, min(4, os.cpu_count() or 1))
+
+
+def default_backend() -> str:
+    """Backend default: ``REPRO_SWEEP_BACKEND`` when set (validated
+    against the registry — a typo'd env value is a :class:`SweepError`,
+    not a silent fallback), else ``"parallel"``."""
+    env = os.environ.get(BACKEND_ENV)
+    if env is not None and env != "":
+        if env not in _BACKENDS:
+            raise SweepError(
+                f"{BACKEND_ENV} names unknown sweep backend {env!r} "
+                f"(registered backends: {backend_names()})"
+            )
+        return env
+    return "parallel"
 
 
 def _pool_context():
@@ -243,130 +273,254 @@ RowSink = Callable[[SweepResult], None]
 BackendRun = Tuple[Dict[int, SweepResult], bool, bool]
 
 
-def _run_serial(
-    tasks: List[SweepTask],
-    workers: int,
-    retries: int,
-    fail_fast: bool,
-    watchdog: Optional[Watchdog],
-    on_row: RowSink,
-) -> BackendRun:
-    rows: Dict[int, SweepResult] = {}
-    aborted = interrupted = False
-    try:
-        for task in tasks:
-            row = execute_task(task, watchdog)
+@dataclass
+class ExecutorContext:
+    """Everything :func:`run_sweep` hands an executor for one campaign.
+
+    ``workers`` is the executor's own :meth:`SweepExecutor.initial_workers`
+    answer; fleet-sized executors (tcp) may overwrite
+    ``effective_workers`` once the fleet's true slot count is known, and
+    the outcome reports that number.  ``hosts`` is the raw host list for
+    remote executors (``None`` for local ones); ``meta`` is the campaign's
+    ``(name, base_seed)`` so remote workers can label what they serve.
+    """
+
+    workers: int
+    retries: int
+    fail_fast: bool
+    watchdog: Optional[Watchdog]
+    on_row: RowSink
+    hosts: Optional[Any] = None
+    meta: Optional[Dict[str, Any]] = None
+    effective_workers: Optional[int] = None
+
+
+class SweepExecutor:
+    """One campaign execution strategy, pluggable by name.
+
+    Implementations override :meth:`run` — take the pending tasks, call
+    ``ctx.on_row`` as each row lands, and return
+    ``(rows_by_index, aborted, interrupted)``.  The contract every
+    backend must keep (asserted differentially): healthy tasks produce
+    rows byte-identical to the serial reference's, ``KeyboardInterrupt``
+    is absorbed into a truthful ``aborted=interrupted=True`` return (never
+    propagated — the journal's end record must still be written), and a
+    row, once begun, is either completed or discarded — never
+    half-reported.
+    """
+
+    #: registry name, set by :func:`register_backend`.
+    name = "?"
+
+    def initial_workers(self, workers: Optional[int]) -> int:
+        """Validate/resolve the requested worker count before the run."""
+        value = default_workers() if workers is None else workers
+        if value < 1:
+            raise SweepError(f"workers must be >= 1, got {value}")
+        return value
+
+    def run(self, tasks: List[SweepTask], ctx: ExecutorContext) -> BackendRun:
+        raise NotImplementedError
+
+
+class SerialExecutor(SweepExecutor):
+    """The reference backend: every task in the calling process, in task
+    order."""
+
+    def initial_workers(self, workers: Optional[int]) -> int:
+        return 1  # the calling process is the only worker
+
+    def run(self, tasks: List[SweepTask], ctx: ExecutorContext) -> BackendRun:
+        rows: Dict[int, SweepResult] = {}
+        aborted = interrupted = False
+        try:
+            for task in tasks:
+                row = execute_task(task, ctx.watchdog)
+                rows[task.index] = row
+                ctx.on_row(row)
+                if ctx.fail_fast and _is_failure(row):
+                    aborted = True
+                    break  # stop enumerating: later tasks never start
+        except KeyboardInterrupt:
+            # The in-flight task's partial row is discarded: the outcome
+            # covers exactly the rows already journaled.
+            aborted = interrupted = True
+        return rows, aborted, interrupted
+
+
+class ProcessPoolBackend(SweepExecutor):
+    """Fan-out over a local :class:`ProcessPoolExecutor`."""
+
+    def run(self, tasks: List[SweepTask], ctx: ExecutorContext) -> BackendRun:
+        watchdog, retries, fail_fast = ctx.watchdog, ctx.retries, ctx.fail_fast
+        on_row = ctx.on_row
+        rows: Dict[int, SweepResult] = {}
+        casualties: List[Tuple[SweepTask, BaseException, float]] = []
+        aborted = interrupted = False
+        mp_ctx = _pool_context()
+        pool = ProcessPoolExecutor(
+            max_workers=ctx.workers, mp_context=mp_ctx, initializer=_worker_init
+        )
+        submitted_at = time.perf_counter()
+        try:
+            futures = {
+                pool.submit(execute_task, task, watchdog): task for task in tasks
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures[future]
+                    if future.cancelled():
+                        continue  # fail-fast revoked it before it started
+                    try:
+                        row = future.result()
+                    except BaseException as exc:  # worker death broke the pool
+                        casualties.append(
+                            (task, exc, time.perf_counter() - submitted_at)
+                        )
+                        continue
+                    rows[task.index] = row
+                    on_row(row)
+                    if fail_fast and _is_failure(row):
+                        aborted = True
+                if aborted and pending:
+                    # Cancel everything not yet started; tasks already
+                    # running finish and keep their rows (a row, once
+                    # begun, is never half-reported).
+                    for future in pending:
+                        future.cancel()
+            pool.shutdown(wait=True)
+        except KeyboardInterrupt:
+            # Graceful abort: revoke everything not yet started and do not
+            # block on in-flight tasks — the journal already holds every
+            # completed row, and the outcome will say so truthfully.
+            aborted = interrupted = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            return rows, aborted, interrupted
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        # Bounded retry, one task per fresh single-worker pool: the
+        # genuine crasher dies alone; innocent casualties of the shared
+        # pool complete.  An aborting campaign skips the retries — it is
+        # already being torn down — and records the crash rows as-is.
+        for task, first_exc, crash_wall in sorted(
+            casualties, key=lambda entry: entry[0].index
+        ):
+            retry_started = time.perf_counter()
+            attempts = 1
+            row: Optional[SweepResult] = None
+            while not aborted and attempts <= retries:
+                attempts += 1
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=1, mp_context=mp_ctx, initializer=_worker_init
+                    ) as solo:
+                        row = solo.submit(execute_task, task, watchdog).result()
+                    break
+                except KeyboardInterrupt:
+                    aborted = interrupted = True
+                    break
+                except BaseException as exc:  # noqa: BLE001
+                    first_exc = exc
+            if row is None:
+                row = _crash_row(
+                    task,
+                    first_exc,
+                    attempts,
+                    crash_wall + (time.perf_counter() - retry_started),
+                )
+            else:
+                row.attempts = attempts
             rows[task.index] = row
             on_row(row)
-            if fail_fast and _is_failure(row):
-                aborted = True
-                break  # stop enumerating: later tasks are never started
-    except KeyboardInterrupt:
-        # The in-flight task's partial row is discarded: the outcome
-        # covers exactly the rows already journaled.
-        aborted = interrupted = True
-    return rows, aborted, interrupted
-
-
-def _run_parallel(
-    tasks: List[SweepTask],
-    workers: int,
-    retries: int,
-    fail_fast: bool,
-    watchdog: Optional[Watchdog],
-    on_row: RowSink,
-) -> BackendRun:
-    rows: Dict[int, SweepResult] = {}
-    casualties: List[Tuple[SweepTask, BaseException, float]] = []
-    aborted = interrupted = False
-    ctx = _pool_context()
-    pool = ProcessPoolExecutor(
-        max_workers=workers, mp_context=ctx, initializer=_worker_init
-    )
-    submitted_at = time.perf_counter()
-    try:
-        futures = {pool.submit(execute_task, task, watchdog): task for task in tasks}
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                task = futures[future]
-                if future.cancelled():
-                    continue  # fail-fast revoked it before it started
-                try:
-                    row = future.result()
-                except BaseException as exc:  # worker death broke the pool
-                    casualties.append(
-                        (task, exc, time.perf_counter() - submitted_at)
-                    )
-                    continue
-                rows[task.index] = row
-                on_row(row)
-                if fail_fast and _is_failure(row):
-                    aborted = True
-            if aborted and pending:
-                # Cancel everything not yet started; tasks already running
-                # finish and keep their rows (a row, once begun, is never
-                # half-reported).
-                for future in pending:
-                    future.cancel()
-        pool.shutdown(wait=True)
-    except KeyboardInterrupt:
-        # Graceful abort: revoke everything not yet started and do not
-        # block on in-flight tasks — the journal already holds every
-        # completed row, and the outcome will say so truthfully.
-        aborted = interrupted = True
-        pool.shutdown(wait=False, cancel_futures=True)
         return rows, aborted, interrupted
-    except BaseException:
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
-    # Bounded retry, one task per fresh single-worker pool: the genuine
-    # crasher dies alone; innocent casualties of the shared pool complete.
-    # An aborting campaign skips the retries — it is already being torn
-    # down — and records the crash rows as-is.
-    for task, first_exc, crash_wall in sorted(
-        casualties, key=lambda entry: entry[0].index
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+#: name -> SweepExecutor factory, or an entry-point style ``"module:attr"``
+#: string resolved lazily on first use (so optional backends cost nothing
+#: until selected).
+_BACKENDS: Dict[str, Any] = {}
+
+#: public alias, kept for callers that enumerate backends.
+BACKENDS = _BACKENDS
+
+
+def register_backend(name: str, factory: Any) -> None:
+    """Register a campaign backend under *name*.
+
+    *factory* is either a zero-argument callable returning a
+    :class:`SweepExecutor` (typically the executor class itself) or an
+    entry-point style string ``"package.module:attr"`` imported lazily the
+    first time the backend is selected.  Re-registering a name replaces
+    it — tests swap in instrumented executors this way.
+    """
+    if not name:
+        raise SweepError("backend name must be non-empty")
+    if not callable(factory) and not (
+        isinstance(factory, str) and ":" in factory
     ):
-        retry_started = time.perf_counter()
-        attempts = 1
-        row: Optional[SweepResult] = None
-        while not aborted and attempts <= retries:
-            attempts += 1
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=1, mp_context=ctx, initializer=_worker_init
-                ) as solo:
-                    row = solo.submit(execute_task, task, watchdog).result()
-                break
-            except KeyboardInterrupt:
-                aborted = interrupted = True
-                break
-            except BaseException as exc:  # noqa: BLE001
-                first_exc = exc
-        if row is None:
-            row = _crash_row(
-                task,
-                first_exc,
-                attempts,
-                crash_wall + (time.perf_counter() - retry_started),
-            )
-        else:
-            row.attempts = attempts
-        rows[task.index] = row
-        on_row(row)
-    return rows, aborted, interrupted
+        raise SweepError(
+            f"backend {name!r}: factory must be callable or an "
+            f"entry-point string 'module:attr', got {factory!r}"
+        )
+    _BACKENDS[name] = factory
 
 
-BACKENDS = {
-    "serial": _run_serial,
-    "parallel": _run_parallel,
-}
+def backend_names() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def resolve_backend(name: str) -> SweepExecutor:
+    """Instantiate the executor registered under *name*.
+
+    Entry-point strings are imported on first use and the resolved
+    factory cached back into the registry.  Unknown names raise
+    :class:`SweepError` listing every registered backend.
+    """
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise SweepError(
+            f"unknown sweep backend {name!r} "
+            f"(registered backends: {backend_names()})"
+        ) from None
+    if isinstance(factory, str):
+        module_name, _, attr = factory.partition(":")
+        try:
+            import importlib
+
+            module = importlib.import_module(module_name)
+            factory = getattr(module, attr)
+        except (ImportError, AttributeError) as exc:
+            raise SweepError(
+                f"backend {name!r}: cannot load entry point {factory!r}: {exc}"
+            ) from None
+        _BACKENDS[name] = factory
+    executor = factory()
+    if not isinstance(executor, SweepExecutor):
+        raise SweepError(
+            f"backend {name!r}: factory returned "
+            f"{type(executor).__name__}, not a SweepExecutor"
+        )
+    executor.name = name
+    return executor
+
+
+register_backend("serial", SerialExecutor)
+register_backend("parallel", ProcessPoolBackend)
+register_backend("tcp", "repro.sweep.remote:TcpExecutor")
 
 
 def run_sweep(
     spec_or_tasks: Any,
-    backend: str = "parallel",
+    backend: Optional[str] = None,
     workers: Optional[int] = None,
     retries: int = DEFAULT_RETRIES,
     fail_fast: bool = False,
@@ -376,6 +530,7 @@ def run_sweep(
     task_timeout: Optional[float] = None,
     timeout_retries: int = DEFAULT_TIMEOUT_RETRIES,
     timeout_backoff: float = DEFAULT_TIMEOUT_BACKOFF,
+    hosts: Optional[Any] = None,
 ) -> SweepOutcome:
     """Execute a campaign and merge its rows deterministically.
 
@@ -383,6 +538,12 @@ def run_sweep(
     parent) or a prepared task list.  Rows always come back in task order;
     with healthy tasks the merged outcome's :meth:`canonical_bytes` is
     identical across backends, worker counts and completion orders.
+
+    *backend* selects a registered :class:`SweepExecutor` by name
+    (``serial`` / ``parallel`` / ``tcp``; precedence: explicit argument >
+    ``REPRO_SWEEP_BACKEND`` > ``parallel``).  *hosts* configures the
+    ``tcp`` backend's worker fleet — a ``"host:port,host:port"`` string or
+    a list (precedence: explicit argument > ``REPRO_SWEEP_HOSTS``).
 
     *fail_fast* stops the campaign at the first failed row: the serial
     backend stops enumerating, the pool backend cancels every task not yet
@@ -404,12 +565,9 @@ def run_sweep(
     unchanged, so a resumed or warm-cache outcome's canonical bytes are
     identical to a cold uninterrupted run's.
     """
-    try:
-        run = BACKENDS[backend]
-    except KeyError:
-        raise SweepError(
-            f"unknown sweep backend {backend!r} (expected one of {sorted(BACKENDS)})"
-        ) from None
+    if backend is None:
+        backend = default_backend()
+    executor = resolve_backend(backend)
     if retries < 0:
         raise SweepError(
             f"retries must be >= 0, got {retries} (a negative value would "
@@ -425,12 +583,7 @@ def run_sweep(
             raise SweepError(f"timeout_backoff must be >= 0, got {timeout_backoff}")
         watchdog = Watchdog(float(task_timeout), timeout_retries, timeout_backoff)
     tasks = tasks_of(spec_or_tasks)
-    if backend == "serial":
-        effective_workers = 1
-    else:
-        effective_workers = default_workers() if workers is None else workers
-    if effective_workers < 1:
-        raise SweepError(f"workers must be >= 1, got {effective_workers}")
+    effective_workers = executor.initial_workers(workers)
     meta = spec_meta(spec_or_tasks)
     started = time.perf_counter()
 
@@ -506,14 +659,23 @@ def run_sweep(
         if cache is not None and not row.cached:
             cache.put(tasks_by_index[row.index], row, fingerprints[row.index])
 
+    context = ExecutorContext(
+        workers=effective_workers,
+        retries=retries,
+        fail_fast=fail_fast,
+        watchdog=watchdog,
+        on_row=on_row,
+        hosts=hosts,
+        meta=meta,
+    )
     if fail_fast and any(_is_failure(row) for row in prefilled.values()):
         # A replayed/cached failure already decides the campaign.
         rows_by_index: Dict[int, SweepResult] = {}
         aborted, interrupted = True, False
     else:
-        rows_by_index, aborted, interrupted = run(
-            pending, effective_workers, retries, fail_fast, watchdog, on_row
-        )
+        rows_by_index, aborted, interrupted = executor.run(pending, context)
+    if context.effective_workers is not None:
+        effective_workers = context.effective_workers
 
     merged = {**prefilled, **rows_by_index}
     rows = [merged[task.index] for task in tasks if task.index in merged]

@@ -5,45 +5,59 @@ line.  The first two cells are instant so a journal exists quickly; the
 rest sleep a little real time each, giving the parent test a wide window
 to SIGINT / SIGKILL this process mid-campaign.
 
-Usage: python _durable_helper.py BACKEND [--journal PATH | --resume PATH]
+Usage::
+
+    python _durable_helper.py BACKEND [--journal PATH | --resume PATH]
+                                      [--hosts HOST:PORT,...]
+
+``--hosts`` feeds the tcp backend its worker fleet (launch the workers
+separately; they must outlive this process for the kill tests to mean
+anything).
 """
 
+import os
 import sys
-import time
 
-from repro.sweep import SweepSpec, run_sweep
+# The campaign's task function must pickle by a module reference that tcp
+# workers can import too, so it lives in _remote_tasks (launch workers
+# with this directory on PYTHONPATH).
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _remote_tasks import durable_grid_task  # noqa: E402
+
+from repro.sweep import SweepSpec, run_sweep  # noqa: E402
 
 TOTAL = 10
-SLOW_SLEEP_S = 0.35
-
-
-def grid_task(task):
-    if task.index >= 2:
-        time.sleep(SLOW_SLEEP_S)
-    return {"index": task.index, "seed": task.seed, "passed": True}
 
 
 def build_spec() -> SweepSpec:
     spec = SweepSpec("durable", base_seed=9)
     for i in range(TOTAL):
-        spec.add(f"t{i}", grid_task)
+        spec.add(f"t{i}", durable_grid_task)
     return spec
 
 
 def main() -> int:
     backend = sys.argv[1]
-    journal = resume = None
-    if len(sys.argv) > 3:
-        if sys.argv[2] == "--journal":
-            journal = sys.argv[3]
-        elif sys.argv[2] == "--resume":
-            journal, resume = sys.argv[3], True
+    journal = resume = hosts = None
+    argv = sys.argv[2:]
+    while argv:
+        flag, value, argv = argv[0], argv[1], argv[2:]
+        if flag == "--journal":
+            journal = value
+        elif flag == "--resume":
+            journal, resume = value, True
+        elif flag == "--hosts":
+            hosts = value
+        else:
+            raise SystemExit(f"unknown flag {flag!r}")
     outcome = run_sweep(
         build_spec(),
         backend=backend,
-        workers=2,
+        workers=None if backend == "tcp" else 2,
         journal=journal,
         resume=bool(resume),
+        hosts=hosts,
     )
     print(
         "RESULT "

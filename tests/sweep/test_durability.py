@@ -20,6 +20,53 @@ from repro.sweep import read_journal
 HELPER = os.path.join(os.path.dirname(__file__), "_durable_helper.py")
 TOTAL = 10  # keep in sync with _durable_helper.TOTAL
 
+#: tcp workers must import the helper campaign's task module
+#: (tests/sweep/_remote_tasks.py) to unpickle its cells.
+_WORKER_ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join(
+        [
+            os.path.join(
+                os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+                "src",
+            ),
+            os.path.dirname(os.path.abspath(__file__)),
+        ]
+    ),
+)
+
+
+@pytest.fixture
+def worker_fleet():
+    """Two ``repro worker`` subprocesses (2 slots each), own sessions so
+    killing a parent campaign's process group never touches them."""
+    processes, addresses = [], []
+    try:
+        for _ in range(2):
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker", "--slots", "2"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=_WORKER_ENV,
+                start_new_session=True,
+            )
+            processes.append(process)
+            line = process.stdout.readline().strip()
+            assert line.startswith("LISTENING "), line
+            addresses.append(line.split(" ", 1)[1])
+        yield ",".join(addresses)
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                try:
+                    os.killpg(process.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            process.wait(timeout=30)
+            process.stdout.close()
+            process.stderr.close()
+
 
 def _run_helper(*argv, check=True):
     process = subprocess.run(
@@ -49,11 +96,14 @@ def _journal_row_count(path: str) -> int:
         return 0
 
 
-def _start_victim(backend, journal, flag="--journal"):
+def _start_victim(backend, journal, flag="--journal", hosts=None):
     # Own session/process group: SIGKILL can reap the pool workers too;
     # an orphaned worker would otherwise hold the stdout pipe open.
+    argv = [sys.executable, HELPER, backend, flag, journal]
+    if hosts is not None:
+        argv += ["--hosts", hosts]
     return subprocess.Popen(
-        [sys.executable, HELPER, backend, flag, journal],
+        argv,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -140,6 +190,67 @@ class TestSigkillResume:
         assert int(resumed["rows"]) == TOTAL
         assert resumed["canonical"] == _reference_canonical("parallel")
 
+class TestTcpInterruption:
+    """The distributed backend keeps the same interruption contract as
+    serial/parallel: SIGINT flushes a truthful end record, SIGKILL leaves
+    a resumable journal, and a resumed campaign against the same fleet
+    merges byte-identical to an uninterrupted serial run."""
+
+    def test_sigint_mid_campaign_then_resume_is_byte_identical(
+        self, worker_fleet, tmp_path
+    ):
+        journal = str(tmp_path / "campaign.jsonl")
+        victim = _start_victim("tcp", journal, hosts=worker_fleet)
+        try:
+            _wait_for_rows(journal, 2, victim)
+            victim.send_signal(signal.SIGINT)
+            stdout, _ = victim.communicate(timeout=60)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        interrupted = _summary(stdout)
+        assert interrupted["aborted"] == "True"
+        assert interrupted["interrupted"] == "True"
+        journaled = read_journal(journal)
+        assert int(interrupted["rows"]) == len(journaled.rows) < TOTAL
+        assert journaled.end is not None  # SIGINT flushed an end record
+        assert journaled.end["interrupted"] is True
+        # Resume against the same fleet; bytes match uninterrupted serial.
+        resumed = _summary(
+            _run_helper(
+                "tcp", "--resume", journal, "--hosts", worker_fleet
+            ).stdout
+        )
+        assert int(resumed["resumed"]) == len(journaled.rows) >= 2
+        assert int(resumed["rows"]) == TOTAL
+        assert resumed["canonical"] == _reference_canonical("serial")
+
+    def test_kill9_parent_then_resume_against_same_fleet(
+        self, worker_fleet, tmp_path
+    ):
+        """The satellite scenario verbatim: SIGKILL the distributed
+        campaign's parent mid-flight, restart with --resume against the
+        same still-running workers, prove byte-identity to serial."""
+        journal = str(tmp_path / "campaign.jsonl")
+        victim = _start_victim("tcp", journal, hosts=worker_fleet)
+        try:
+            _wait_for_rows(journal, 2, victim)
+        finally:
+            _kill_group(victim)  # SIGKILL: no cleanup, no end record
+        journaled = read_journal(journal)
+        assert 2 <= len(journaled.rows) < TOTAL
+        assert journaled.end is None  # nothing got to say goodbye
+        resumed = _summary(
+            _run_helper(
+                "tcp", "--resume", journal, "--hosts", worker_fleet
+            ).stdout
+        )
+        assert int(resumed["resumed"]) == len(journaled.rows)
+        assert int(resumed["rows"]) == TOTAL
+        assert resumed["canonical"] == _reference_canonical("serial")
+
+
+class TestSigkillResumeMore:
     def test_double_interruption_still_converges(self, tmp_path):
         """Kill the campaign, resume, kill the resume, resume again —
         the journal absorbs any number of deaths."""

@@ -1,0 +1,170 @@
+"""Backend registry: registration API, lazy entry points, env routing."""
+
+import pytest
+
+from repro.sweep import (
+    BACKENDS,
+    SweepError,
+    SweepExecutor,
+    SweepSpec,
+    backend_names,
+    default_backend,
+    register_backend,
+    resolve_backend,
+    run_sweep,
+)
+from repro.sweep.runner import BACKEND_ENV, SerialExecutor
+
+
+def _ok_task(task):
+    return {"index": task.index}
+
+
+@pytest.fixture
+def scratch_backend():
+    """Register-and-cleanup: yields a unique name, removes it afterwards."""
+    name = "scratch-test-backend"
+    yield name
+    BACKENDS.pop(name, None)
+
+
+class TestRegistration:
+    def test_builtin_backends_are_registered(self):
+        assert {"serial", "parallel", "tcp"} <= set(backend_names())
+
+    def test_backend_names_sorted(self):
+        assert backend_names() == sorted(backend_names())
+
+    def test_register_callable_and_resolve(self, scratch_backend):
+        register_backend(scratch_backend, SerialExecutor)
+        executor = resolve_backend(scratch_backend)
+        assert isinstance(executor, SerialExecutor)
+        assert executor.name == scratch_backend
+
+    def test_registered_backend_runs_a_campaign(self, scratch_backend):
+        register_backend(scratch_backend, SerialExecutor)
+        spec = SweepSpec("custom", base_seed=1).add("a", _ok_task)
+        outcome = run_sweep(spec, backend=scratch_backend)
+        assert outcome.backend == scratch_backend
+        assert [row.payload["index"] for row in outcome.rows] == [0]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SweepError, match="non-empty"):
+            register_backend("", SerialExecutor)
+
+    def test_non_callable_non_entrypoint_factory_rejected(self):
+        with pytest.raises(SweepError, match="callable or an"):
+            register_backend("bogus", 42)
+        with pytest.raises(SweepError, match="callable or an"):
+            register_backend("bogus", "no-colon-here")
+
+    def test_reregistering_replaces(self, scratch_backend):
+        class Custom(SerialExecutor):
+            pass
+
+        register_backend(scratch_backend, SerialExecutor)
+        register_backend(scratch_backend, Custom)
+        assert isinstance(resolve_backend(scratch_backend), Custom)
+
+
+class TestResolution:
+    def test_unknown_backend_lists_registered_names(self):
+        with pytest.raises(SweepError, match="unknown sweep backend 'nope'") as exc:
+            resolve_backend("nope")
+        for name in ("serial", "parallel", "tcp"):
+            assert name in str(exc.value)
+
+    def test_entry_point_string_resolves_lazily_and_caches(
+        self, scratch_backend
+    ):
+        register_backend(
+            scratch_backend, "repro.sweep.runner:SerialExecutor"
+        )
+        assert isinstance(BACKENDS[scratch_backend], str)
+        executor = resolve_backend(scratch_backend)
+        assert isinstance(executor, SerialExecutor)
+        # The resolved factory is cached back: no re-import next time.
+        assert BACKENDS[scratch_backend] is SerialExecutor
+
+    def test_bad_entry_point_module_is_sweep_error(self, scratch_backend):
+        register_backend(scratch_backend, "no.such.module:Thing")
+        with pytest.raises(SweepError, match="cannot load entry point"):
+            resolve_backend(scratch_backend)
+
+    def test_bad_entry_point_attr_is_sweep_error(self, scratch_backend):
+        register_backend(scratch_backend, "repro.sweep.runner:NoSuchClass")
+        with pytest.raises(SweepError, match="cannot load entry point"):
+            resolve_backend(scratch_backend)
+
+    def test_factory_returning_non_executor_is_sweep_error(
+        self, scratch_backend
+    ):
+        register_backend(scratch_backend, dict)
+        with pytest.raises(SweepError, match="not a SweepExecutor"):
+            resolve_backend(scratch_backend)
+
+    def test_tcp_entry_point_resolves(self):
+        from repro.sweep.remote import TcpExecutor
+
+        assert isinstance(resolve_backend("tcp"), TcpExecutor)
+
+
+class TestEnvRouting:
+    def test_default_is_parallel(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert default_backend() == "parallel"
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "serial")
+        assert default_backend() == "serial"
+        spec = SweepSpec("env", base_seed=1).add("a", _ok_task)
+        assert run_sweep(spec).backend == "serial"
+
+    def test_unknown_env_backend_is_sweep_error(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "hyperdrive")
+        with pytest.raises(SweepError, match="hyperdrive") as exc:
+            default_backend()
+        assert BACKEND_ENV in str(exc.value)
+        assert "serial" in str(exc.value)  # lists the registry
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "parallel")
+        spec = SweepSpec("env", base_seed=1).add("a", _ok_task)
+        assert run_sweep(spec, backend="serial").backend == "serial"
+
+
+class TestExecutorInterface:
+    def test_custom_executor_sees_context_and_reports_workers(
+        self, scratch_backend
+    ):
+        seen = {}
+
+        class Probe(SweepExecutor):
+            def initial_workers(self, workers):
+                return 7
+
+            def run(self, tasks, ctx):
+                seen["tasks"] = [task.name for task in tasks]
+                seen["workers"] = ctx.workers
+                seen["meta"] = ctx.meta
+                ctx.effective_workers = 99  # fleet-sized answer
+                rows = {}
+                from repro.sweep.runner import execute_task
+
+                for task in tasks:
+                    row = execute_task(task, ctx.watchdog)
+                    rows[task.index] = row
+                    ctx.on_row(row)
+                return rows, False, False
+
+        register_backend(scratch_backend, Probe)
+        spec = SweepSpec("probe", base_seed=5).add("a", _ok_task).add(
+            "b", _ok_task
+        )
+        outcome = run_sweep(spec, backend=scratch_backend)
+        assert seen["tasks"] == ["a", "b"]
+        assert seen["workers"] == 7
+        assert seen["meta"]["name"] == "probe"
+        assert seen["meta"]["base_seed"] == 5
+        # The executor's post-run effective_workers wins in the outcome.
+        assert outcome.workers == 99

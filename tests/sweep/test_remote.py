@@ -1,0 +1,600 @@
+"""The tcp backend: framing, program shipping, the three-way differential
+(serial vs pool vs tcp), fleet configuration and the failure model
+(slot death, server death, heartbeat loss)."""
+
+import os
+import pickle
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.sweep import (
+    SweepError,
+    SweepSpec,
+    WorkerServer,
+    parse_hosts,
+    run_sweep,
+)
+from repro.sweep.remote import (
+    HOSTS_ENV,
+    MSG_BYE,
+    MSG_GET,
+    MSG_HELLO,
+    MSG_PROGRAM,
+    MSG_ROW,
+    MSG_TASK,
+    MSG_WELCOME,
+    PROTOCOL_VERSION,
+    FrameBuffer,
+    ProgramRef,
+    ProtocolError,
+    _json_payload,
+    _parse_json,
+    default_hosts,
+    encode_frame,
+    export_task,
+    read_frame,
+    resolve_task,
+)
+from repro.sweep.runner import execute_task
+
+from tests.sweep._remote_tasks import (
+    ok_task,
+    server_killer_task,
+    sleepy_task,
+    slot_killer_task,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: in-process worker fleet / subprocess worker fleet
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fleet():
+    """Two in-process WorkerServers, two slots each (4 total)."""
+    servers = [WorkerServer(slots=2) for _ in range(2)]
+    threads = [
+        threading.Thread(target=server.serve_forever, daemon=True)
+        for server in servers
+    ]
+    for thread in threads:
+        thread.start()
+    yield [(server.host, server.port) for server in servers]
+    for server in servers:
+        server.stop()
+
+
+def _spawn_worker(slots=1, env_extra=None):
+    """A real ``repro worker`` subprocess; returns (process, 'host:port')."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+    )
+    env.update(env_extra or {})
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--slots", str(slots)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        start_new_session=True,
+    )
+    line = process.stdout.readline().strip()
+    assert line.startswith("LISTENING "), line
+    return process, line.split(" ", 1)[1]
+
+
+def _reap(process):
+    if process.poll() is None:
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+    process.wait(timeout=30)
+    process.stdout.close()
+    process.stderr.close()
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(encode_frame(MSG_ROW, b'{"x":1}'))
+            mtype, payload = read_frame(right)
+            assert (mtype, payload) == (MSG_ROW, b'{"x":1}')
+        finally:
+            left.close()
+            right.close()
+
+    def test_frame_buffer_reassembles_byte_by_byte(self):
+        frame = encode_frame(MSG_TASK, b"payload-bytes")
+        buffer = FrameBuffer()
+        got = []
+        for i in range(len(frame)):
+            assert got == []  # nothing pops until the last byte arrives
+            buffer.feed(frame[i : i + 1])
+            parsed = buffer.next_frame()
+            if parsed is not None:
+                got.append(parsed)
+        assert got == [(MSG_TASK, b"payload-bytes")]
+        assert buffer.next_frame() is None
+
+    def test_two_frames_in_one_feed(self):
+        buffer = FrameBuffer()
+        buffer.feed(encode_frame(MSG_GET, b"{}") + encode_frame(MSG_BYE, b"{}"))
+        assert buffer.next_frame() == (MSG_GET, b"{}")
+        assert buffer.next_frame() == (MSG_BYE, b"{}")
+        assert buffer.next_frame() is None
+
+    def test_corrupted_payload_fails_crc(self):
+        frame = bytearray(encode_frame(MSG_ROW, b'{"x":1}'))
+        frame[10] ^= 0xFF  # flip a payload byte; CRC no longer matches
+        buffer = FrameBuffer()
+        buffer.feed(bytes(frame))
+        with pytest.raises(ProtocolError, match="CRC"):
+            buffer.next_frame()
+
+    def test_bad_magic_rejected(self):
+        frame = b"NOPE" + encode_frame(MSG_ROW, b"{}")[4:]
+        buffer = FrameBuffer()
+        buffer.feed(frame)
+        with pytest.raises(ProtocolError, match="magic"):
+            buffer.next_frame()
+
+    def test_oversized_length_rejected_before_buffering(self):
+        import struct
+
+        from repro.sweep.remote import MAGIC, MAX_FRAME
+
+        header = struct.pack("!4sBI", MAGIC, MSG_ROW, MAX_FRAME + 1)
+        buffer = FrameBuffer()
+        buffer.feed(header)
+        with pytest.raises(ProtocolError, match="limit"):
+            buffer.next_frame()
+
+    def test_oversized_payload_rejected_on_encode(self):
+        from repro.sweep.remote import MAX_FRAME
+
+        with pytest.raises(ProtocolError, match="limit"):
+            encode_frame(MSG_ROW, b"\x00" * (MAX_FRAME + 1))
+
+
+# ---------------------------------------------------------------------------
+# Host parsing
+# ---------------------------------------------------------------------------
+
+
+class TestParseHosts:
+    def test_comma_string(self):
+        assert parse_hosts("a:1,b:2") == [("a", 1), ("b", 2)]
+
+    def test_list_of_strings_and_tuples(self):
+        assert parse_hosts(["a:1", ("b", 2), ("c", "3")]) == [
+            ("a", 1),
+            ("b", 2),
+            ("c", 3),
+        ]
+
+    def test_ignores_empty_segments(self):
+        assert parse_hosts("a:1,,b:2,") == [("a", 1), ("b", 2)]
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["justahost", ":7777", "a:notaport", "a:0", "a:70000", ""],
+    )
+    def test_invalid_entries_are_sweep_errors(self, bad):
+        with pytest.raises(SweepError):
+            parse_hosts(bad)
+
+    def test_invalid_entry_type_is_sweep_error(self):
+        with pytest.raises(SweepError, match="host:port"):
+            parse_hosts([42])
+
+    def test_default_hosts_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(HOSTS_ENV, raising=False)
+        assert default_hosts() is None
+
+    def test_default_hosts_from_env(self, monkeypatch):
+        monkeypatch.setenv(HOSTS_ENV, "x:9,y:10")
+        assert default_hosts() == [("x", 9), ("y", 10)]
+
+    def test_invalid_env_names_the_knob(self, monkeypatch):
+        monkeypatch.setenv(HOSTS_ENV, "nonsense")
+        with pytest.raises(SweepError, match=HOSTS_ENV):
+            default_hosts()
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed program shipping
+# ---------------------------------------------------------------------------
+
+
+def _scripted_task():
+    from repro.scripts import canonical_node_table, tcp_congestion_script
+    from repro.sweep import run_script_task
+
+    spec = SweepSpec("ship", base_seed=3)
+    spec.add(
+        "cell",
+        run_script_task,
+        script=tcp_congestion_script(canonical_node_table(2)),
+        workload={"kind": "tcp_bulk", "bytes": 8192},
+    )
+    return spec.tasks()[0]
+
+
+class TestProgramShipping:
+    def test_export_swaps_programs_for_refs(self):
+        task = _scripted_task()
+        wire, programs = export_task(task)
+        assert len(programs) == 1
+        (content,) = programs
+        assert isinstance(wire.params["program"], ProgramRef)
+        assert wire.params["program"].hash == content
+        assert programs[content].content_hash() == content
+        # The original task is untouched (export must not mutate it).
+        assert not isinstance(task.params["program"], ProgramRef)
+
+    def test_resolve_restores_the_program(self):
+        task = _scripted_task()
+        wire, programs = export_task(task)
+        resolved = resolve_task(wire, programs)
+        assert resolved.params["program"].content_hash() == next(iter(programs))
+        # A resolved task actually executes.
+        row = execute_task(resolved)
+        assert row.ok, row.error
+
+    def test_resolve_missing_program_is_protocol_error(self):
+        task = _scripted_task()
+        wire, _programs = export_task(task)
+        with pytest.raises(ProtocolError, match="never pushed"):
+            resolve_task(wire, {})
+
+    def test_plain_tasks_ship_no_programs(self):
+        spec = SweepSpec("plain", base_seed=1).add("a", ok_task, knob=3)
+        wire, programs = export_task(spec.tasks()[0])
+        assert programs == {}
+        assert wire.params == {"knob": 3}
+
+    def test_restricted_unpickler_blocks_os_system(self):
+        from repro.sweep.remote import _loads
+
+        payload = pickle.dumps(os.system)
+        with pytest.raises(ProtocolError, match="refusing to unpickle"):
+            _loads(payload, "TASK")
+
+
+# ---------------------------------------------------------------------------
+# A scripted fake worker: speaks the protocol inline, counts frames
+# ---------------------------------------------------------------------------
+
+
+class ScriptedWorker(threading.Thread):
+    """Protocol-level worker test double.
+
+    Serves one connection with ``slots`` pull slots, executing tasks
+    inline (no process pool) and counting every frame type it receives.
+    ``hold_tasks=True`` makes it accept work and then go silent — the
+    heartbeat-loss scenario.
+    """
+
+    def __init__(self, slots=1, hold_tasks=False):
+        super().__init__(daemon=True)
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(1)
+        self.host, self.port = self.listener.getsockname()[:2]
+        self.slots = slots
+        self.hold_tasks = hold_tasks
+        self.frame_counts = {}
+        self.programs = {}
+
+    def run(self):
+        try:
+            conn, _ = self.listener.accept()
+        except OSError:
+            return
+        try:
+            mtype, payload = read_frame(conn)
+            assert mtype == MSG_HELLO
+            assert _parse_json(payload, "HELLO")["version"] == PROTOCOL_VERSION
+            conn.sendall(
+                encode_frame(
+                    MSG_WELCOME,
+                    _json_payload(
+                        {"version": PROTOCOL_VERSION, "slots": self.slots}
+                    ),
+                )
+            )
+            for _ in range(self.slots):
+                conn.sendall(encode_frame(MSG_GET, b"{}"))
+            while True:
+                mtype, payload = read_frame(conn)
+                self.frame_counts[mtype] = self.frame_counts.get(mtype, 0) + 1
+                if mtype == MSG_PROGRAM:
+                    shipment = pickle.loads(payload)
+                    self.programs[shipment["hash"]] = shipment["program"]
+                elif mtype == MSG_TASK:
+                    if self.hold_tasks:
+                        continue  # accept the cell, never answer
+                    import struct
+
+                    task = pickle.loads(payload[4:])
+                    task = resolve_task(task, self.programs)
+                    row = execute_task(task)
+                    conn.sendall(
+                        encode_frame(MSG_ROW, _json_payload(row.to_record()))
+                    )
+                    conn.sendall(encode_frame(MSG_GET, b"{}"))
+                elif mtype == MSG_BYE:
+                    break
+        except (ProtocolError, OSError, ConnectionError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self.listener.close()
+
+    def stop(self):
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Differential: serial vs pool vs tcp, byte-identical
+# ---------------------------------------------------------------------------
+
+
+class TestLoopbackDifferential:
+    def test_three_backend_differential_is_byte_identical(self, fleet):
+        """The acceptance campaign (fig5/fig6 x seeds x loss) merges to
+        the same bytes on serial, the process pool, and a 2-host tcp
+        fleet."""
+        from tests.sweep.test_runner import mixed_campaign
+
+        spec = mixed_campaign()
+        assert len(spec) >= 12
+        serial = run_sweep(spec, backend="serial")
+        pool = run_sweep(spec, backend="parallel", workers=2)
+        tcp = run_sweep(spec, backend="tcp", hosts=fleet)
+        assert serial.passed, serial.render()
+        assert serial.canonical_bytes() == pool.canonical_bytes()
+        assert serial.canonical_bytes() == tcp.canonical_bytes()
+        assert tcp.backend == "tcp"
+        assert tcp.workers == 4  # the fleet's advertised slot total
+
+    def test_hosts_accepts_comma_string(self, fleet):
+        spec = SweepSpec("str-hosts", base_seed=2)
+        for i in range(4):
+            spec.add(f"t{i}", ok_task)
+        hosts = ",".join(f"{host}:{port}" for host, port in fleet)
+        outcome = run_sweep(spec, backend="tcp", hosts=hosts)
+        assert outcome.passed
+        assert len(outcome.rows) == 4
+
+    def test_program_pushed_once_per_worker(self):
+        """Six cells sharing one compiled program ship exactly one
+        PROGRAM frame: content-addressed push, keyed by content_hash."""
+        from repro.scripts import canonical_node_table, tcp_congestion_script
+        from repro.sweep import run_script_task
+
+        worker = ScriptedWorker(slots=2)
+        worker.start()
+        spec = SweepSpec("push-once", base_seed=5)
+        spec.add_grid(
+            run_script_task,
+            axes={"seed": [0, 1, 2, 3, 4, 5]},
+            script=tcp_congestion_script(canonical_node_table(2)),
+            workload={"kind": "tcp_bulk", "bytes": 8192},
+        )
+        outcome = run_sweep(
+            spec, backend="tcp", hosts=[(worker.host, worker.port)]
+        )
+        worker.join(timeout=30)
+        assert outcome.passed, outcome.render()
+        assert worker.frame_counts.get(MSG_TASK) == 6
+        assert worker.frame_counts.get(MSG_PROGRAM) == 1
+
+    def test_journal_and_cache_compose_with_tcp(self, fleet, tmp_path):
+        """PR-6 durability plumbing is backend-agnostic: a journaled tcp
+        campaign replays byte-identically, and a warm cache serves it
+        without touching the fleet."""
+        spec = SweepSpec("compose", base_seed=4)
+        for i in range(5):
+            spec.add(f"t{i}", ok_task)
+        journal = str(tmp_path / "tcp.jsonl")
+        cache = str(tmp_path / "cache")
+        first = run_sweep(
+            spec, backend="tcp", hosts=fleet, journal=journal, cache_dir=cache
+        )
+        assert first.passed
+        resumed = run_sweep(
+            spec,
+            backend="tcp",
+            hosts=fleet,
+            journal=journal,
+            resume=True,
+        )
+        assert resumed.resumed == 5  # nothing re-executed
+        assert first.canonical_bytes() == resumed.canonical_bytes()
+        # Cache round: serial backend serves from the same cache entries
+        # the tcp campaign wrote (content-addressed, backend-free).
+        cached = run_sweep(spec, backend="serial", cache_dir=cache)
+        assert cached.cached_rows == 5
+        assert cached.canonical_bytes() == first.canonical_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Fleet configuration
+# ---------------------------------------------------------------------------
+
+
+class TestFleetConfig:
+    def test_no_fleet_anywhere_is_sweep_error(self, monkeypatch):
+        monkeypatch.delenv(HOSTS_ENV, raising=False)
+        spec = SweepSpec("nofleet", base_seed=1).add("a", ok_task)
+        with pytest.raises(SweepError, match="worker fleet"):
+            run_sweep(spec, backend="tcp")
+
+    def test_hosts_env_supplies_the_fleet(self, fleet, monkeypatch):
+        monkeypatch.setenv(
+            HOSTS_ENV, ",".join(f"{h}:{p}" for h, p in fleet)
+        )
+        spec = SweepSpec("envfleet", base_seed=1).add("a", ok_task)
+        outcome = run_sweep(spec, backend="tcp")
+        assert outcome.passed
+
+    def test_hosts_argument_beats_env(self, fleet, monkeypatch):
+        # The env names a dead port; an explicit argument must win
+        # without ever dialling the env value.
+        monkeypatch.setenv(HOSTS_ENV, "127.0.0.1:9")
+        monkeypatch.setenv("REPRO_SWEEP_CONNECT_TIMEOUT_S", "2")
+        spec = SweepSpec("argfleet", base_seed=1).add("a", ok_task)
+        outcome = run_sweep(spec, backend="tcp", hosts=fleet)
+        assert outcome.passed
+
+    def test_unreachable_fleet_is_sweep_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CONNECT_TIMEOUT_S", "0.3")
+        spec = SweepSpec("dead", base_seed=1).add("a", ok_task)
+        with pytest.raises(SweepError, match="could not reach any worker"):
+            run_sweep(spec, backend="tcp", hosts="127.0.0.1:9")
+
+    def test_invalid_workers_still_validated(self, monkeypatch):
+        spec = SweepSpec("w", base_seed=1).add("a", ok_task)
+        with pytest.raises(SweepError, match="workers"):
+            run_sweep(spec, backend="tcp", workers=0, hosts="127.0.0.1:9")
+
+
+# ---------------------------------------------------------------------------
+# The failure model
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerLoss:
+    def test_slot_death_is_reported_requeued_and_bounded(self, fleet):
+        """A cell that hard-kills its slot process breaks the worker's
+        local pool: the worker reports it (ERROR frame), the parent
+        re-queues within the retry budget, and a cell that keeps killing
+        becomes a deterministic FAILED row while healthy cells complete."""
+        spec = SweepSpec("slotdeath", base_seed=6)
+        spec.add("ok0", ok_task)
+        spec.add("killer", slot_killer_task)
+        spec.add("ok1", ok_task)
+        outcome = run_sweep(spec, backend="tcp", hosts=fleet, retries=1)
+        by_name = {row.name: row for row in outcome.rows}
+        assert by_name["ok0"].ok and by_name["ok1"].ok
+        killer = by_name["killer"]
+        assert killer.status == "FAILED"
+        assert killer.error == "worker died: connection lost"
+        assert killer.attempts == 2  # initial + one retry, both lost
+        assert len(outcome.rows) == 3
+
+    def test_server_death_requeues_to_surviving_workers(self):
+        """SIGKILL a worker server mid-campaign (socket death): its
+        in-flight cells re-queue onto survivors and the merged rows are
+        byte-identical to serial."""
+        workers = [_spawn_worker(slots=1) for _ in range(2)]
+        try:
+            spec = SweepSpec("srvdeath", base_seed=8)
+            for i in range(6):
+                spec.add(f"t{i}", sleepy_task, sleep_s=0.2)
+            hosts = ",".join(addr for _, addr in workers)
+
+            def kill_one_soon():
+                time.sleep(0.4)  # mid-campaign: cells are in flight
+                _reap(workers[0][0])
+
+            killer = threading.Thread(target=kill_one_soon, daemon=True)
+            killer.start()
+            tcp = run_sweep(spec, backend="tcp", hosts=hosts, retries=2)
+            killer.join()
+            serial = run_sweep(spec, backend="serial")
+            assert tcp.passed, tcp.render()
+            assert tcp.canonical_bytes() == serial.canonical_bytes()
+        finally:
+            for process, _ in workers:
+                _reap(process)
+
+    def test_retry_budget_exhaustion_yields_deterministic_failed_row(self):
+        """A cell that kills every server it lands on exhausts the retry
+        budget (retries=1 -> two losses) and becomes a FAILED row; a
+        third worker survives to finish the healthy cells."""
+        workers = [_spawn_worker(slots=1) for _ in range(3)]
+        try:
+            spec = SweepSpec("exhaust", base_seed=9)
+            spec.add("assassin", server_killer_task)
+            for i in range(3):
+                spec.add(f"t{i}", ok_task)
+            hosts = ",".join(addr for _, addr in workers)
+            outcome = run_sweep(spec, backend="tcp", hosts=hosts, retries=1)
+            by_name = {row.name: row for row in outcome.rows}
+            assassin = by_name["assassin"]
+            assert assassin.status == "FAILED"
+            assert assassin.error == "worker died: connection lost"
+            assert assassin.attempts == 2
+            assert "lost 2 worker" in assassin.error_detail
+            for i in range(3):
+                assert by_name[f"t{i}"].ok
+        finally:
+            for process, _ in workers:
+                _reap(process)
+
+    def test_whole_fleet_loss_is_an_honest_sweep_error(self):
+        """Every worker dead with cells still pending: SweepError, not a
+        silent partial outcome."""
+        process, addr = _spawn_worker(slots=1)
+        try:
+            spec = SweepSpec("allgone", base_seed=10)
+            spec.add("assassin", server_killer_task)
+            spec.add("never", ok_task)
+            with pytest.raises(SweepError, match="lost every worker"):
+                run_sweep(spec, backend="tcp", hosts=addr, retries=5)
+        finally:
+            _reap(process)
+
+    def test_heartbeat_silence_requeues_held_cells(self, monkeypatch):
+        """A worker that accepts a cell and goes silent misses heartbeats;
+        the parent declares it lost and the cell completes elsewhere."""
+        monkeypatch.setenv("REPRO_SWEEP_HEARTBEAT_S", "0.2")
+        monkeypatch.setenv("REPRO_SWEEP_HEARTBEAT_TIMEOUT_S", "1.0")
+        silent = ScriptedWorker(slots=1, hold_tasks=True)
+        silent.start()
+        live = WorkerServer(slots=2)
+        live_thread = threading.Thread(target=live.serve_forever, daemon=True)
+        live_thread.start()
+        try:
+            spec = SweepSpec("silence", base_seed=12)
+            for i in range(4):
+                spec.add(f"t{i}", ok_task)
+            outcome = run_sweep(
+                spec,
+                backend="tcp",
+                hosts=[(silent.host, silent.port), (live.host, live.port)],
+                retries=1,
+            )
+            assert outcome.passed, outcome.render()
+            assert len(outcome.rows) == 4
+            serial = run_sweep(spec, backend="serial")
+            assert outcome.canonical_bytes() == serial.canonical_bytes()
+        finally:
+            silent.stop()
+            live.stop()

@@ -54,11 +54,19 @@ def _sweep_entry(bench: str, note: str = "", **fields) -> dict:
     return entry
 
 
+#: The bench fleet runs authenticated, like a production fleet would —
+#: the handshake HMACs are part of the dispatch overhead being measured.
+FLEET_SECRET = "bench-sweep-scaling"
+
+
 class _Fleet:
     """A loopback worker fleet of in-process servers (real process slots)."""
 
     def __init__(self, n_workers: int, slots: int):
-        self.servers = [WorkerServer(slots=slots) for _ in range(n_workers)]
+        self.servers = [
+            WorkerServer(slots=slots, secret=FLEET_SECRET)
+            for _ in range(n_workers)
+        ]
         self.threads = [
             threading.Thread(target=server.serve_forever, daemon=True)
             for server in self.servers
@@ -141,7 +149,9 @@ class TestSweepScaling:
             trivial.add(f"noop{i}", sleep_task, sleep_s=0.0)
         trivial_serial = run_sweep(trivial, backend="serial")
         with _Fleet(n_workers=1, slots=1) as fleet:
-            trivial_tcp = run_sweep(trivial, backend="tcp", hosts=fleet.hosts)
+            trivial_tcp = run_sweep(
+                trivial, backend="tcp", hosts=fleet.hosts, secret=FLEET_SECRET
+            )
         assert trivial_serial.canonical_bytes() == trivial_tcp.canonical_bytes()
         overhead_ms = (
             (trivial_tcp.wall_seconds - trivial_serial.wall_seconds)
@@ -157,7 +167,9 @@ class TestSweepScaling:
         serial = run_sweep(spec, backend="serial")
         with _Fleet(n_workers=2, slots=2) as fleet:
             tcp = benchmark.pedantic(
-                lambda: run_sweep(spec, backend="tcp", hosts=fleet.hosts),
+                lambda: run_sweep(
+                    spec, backend="tcp", hosts=fleet.hosts, secret=FLEET_SECRET
+                ),
                 rounds=1,
                 iterations=1,
             )
@@ -166,7 +178,10 @@ class TestSweepScaling:
         assert tcp.workers == 4  # 2 workers x 2 slots advertised
         speedup = serial.wall_seconds / max(tcp.wall_seconds, 1e-9)
 
-        note = "tcp backend: loopback fleet, content-addressed program push"
+        note = (
+            "tcp backend: loopback fleet, HMAC-authenticated handshake, "
+            "content-addressed program push"
+        )
         append_entry(
             BENCH_SWEEP,
             _sweep_entry(

@@ -223,6 +223,12 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
                 "--resume PATH already names the journal"
             )
         journal, resume = args.resume, True
+    secret = None
+    if args.secret_file is not None:
+        from .sweep import resolve_secret
+
+        secret = resolve_secret(secret_file=args.secret_file)
+    extra = {} if args.retries is None else {"retries": args.retries}
     outcome = run_sweep(
         spec,
         backend=args.backend,
@@ -233,6 +239,8 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         cache_dir=args.cache_dir,
         task_timeout=args.task_timeout,
         hosts=args.hosts,
+        secret=secret,
+        **extra,
     )
     if args.json:
         print(
@@ -241,6 +249,7 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
                     "aborted": outcome.aborted,
                     "backend": outcome.backend,
                     "cached_rows": outcome.cached_rows,
+                    "fleet": outcome.fleet,
                     "interrupted": outcome.interrupted,
                     "passed": outcome.passed,
                     "resumed": outcome.resumed,
@@ -263,7 +272,13 @@ def cmd_worker(args: argparse.Namespace, out) -> int:
 
     from .sweep.remote import WorkerServer
 
-    server = WorkerServer(host=args.host, port=args.port, slots=args.slots)
+    server = WorkerServer(
+        host=args.host,
+        port=args.port,
+        slots=args.slots,
+        secret_file=args.secret_file,
+        max_idle=args.max_idle,
+    )
     # The parent discovers an ephemeral port (--port 0) from this line;
     # tests and CI scrape it, so the format is part of the interface.
     print(f"LISTENING {server.host}:{server.port}", file=out)
@@ -285,8 +300,10 @@ def cmd_worker(args: argparse.Namespace, out) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         server.stop()
+    note = " (idle limit reached)" if server.idle_exit else ""
     print(
-        f"worker stopped after {server.campaigns_served} campaign(s)", file=out
+        f"worker stopped after {server.campaigns_served} campaign(s){note}",
+        file=out,
     )
     return 0
 
@@ -466,6 +483,14 @@ def build_parser() -> argparse.ArgumentParser:
         "127.0.0.1:7777,10.0.0.2:7777 (default: REPRO_SWEEP_HOSTS)",
     )
     sweep.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the fleet's pre-shared authentication secret "
+        "for the tcp backend (default: REPRO_SWEEP_SECRET); both peers "
+        "must hold the same secret",
+    )
+    sweep.add_argument(
         "--max-time",
         type=float,
         default=60.0,
@@ -506,6 +531,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-task wall-clock deadline in seconds; a hung task is "
         "retried with backoff, then recorded as a TIMEOUT row",
     )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-queue budget per cell after a worker crash or connection "
+        "loss before the cell becomes a deterministic FAILED row "
+        "(default 1; rejoining workers refund their own losses)",
+    )
     sweep.set_defaults(handler=cmd_sweep)
 
     worker = sub.add_parser(
@@ -533,6 +567,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="local process slots served (default: cores, max 4, or "
         "REPRO_SWEEP_WORKERS)",
+    )
+    worker.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the fleet's pre-shared authentication secret "
+        "(default: REPRO_SWEEP_SECRET); parents that cannot prove it are "
+        "refused before any task is accepted",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit when no parent has connected for this long, so "
+        "orphaned fleet processes don't leak on shared hosts",
     )
     worker.set_defaults(handler=cmd_worker)
 

@@ -43,13 +43,16 @@ from .runner import (
     resolve_backend,
     run_sweep,
 )
+from .health import FleetHealth
 from .remote import (
     HOSTS_ENV,
     PROTOCOL_VERSION,
+    SECRET_ENV,
     TcpExecutor,
     WorkerServer,
     default_hosts,
     parse_hosts,
+    resolve_secret,
 )
 from .spec import (
     SweepError,
@@ -63,12 +66,15 @@ from .spec import (
 
 __all__ = [
     "BACKENDS",
+    "FleetHealth",
     "HOSTS_ENV",
     "PROTOCOL_VERSION",
+    "SECRET_ENV",
     "TcpExecutor",
     "WorkerServer",
     "default_hosts",
     "parse_hosts",
+    "resolve_secret",
     "DEFAULT_RETRIES",
     "DEFAULT_TIMEOUT_BACKOFF",
     "DEFAULT_TIMEOUT_RETRIES",

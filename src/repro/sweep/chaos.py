@@ -1,0 +1,335 @@
+"""Fleet chaos harness: real worker subprocesses, real faults.
+
+VirtualWire's campaign tier must survive its own infrastructure's faults
+the way its testbed survives injected ones.  This module is the fixture
+layer the fleet chaos tests (``tests/sweep/test_fleet_chaos.py``) and the
+CI ``fleet-chaos`` smoke job build on:
+
+* :class:`ChaosWorker` — a **real** ``repro worker`` subprocess (own
+  process group, pinned port) that can be SIGKILLed, SIGSTOPped,
+  SIGCONTed and *restarted on the same port* mid-campaign, which is
+  exactly the flap the scheduler's redial/rejoin path must absorb;
+* :class:`ChaosProxy` — a TCP forwarder slotted between parent and
+  worker that injects socket-level delay or hard-closes live links
+  mid-stream, for faults below the job protocol's view;
+* :func:`kill_restart_loop` — the killer thread the CI smoke job runs
+  against a live campaign.
+
+Everything here is stdlib-only and intentionally boring: the interesting
+assertions (campaign completes, rows byte-identical to serial, rejoins
+counted) live in the tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from .spec import SweepError
+
+#: how long to wait for a freshly spawned worker to print its LISTENING
+#: line before declaring the spawn failed.
+_SPAWN_TIMEOUT_S = 30.0
+
+
+def _src_root() -> str:
+    """The ``src`` directory that holds the importable ``repro`` package."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _pythonpath(extra: Optional[str] = None) -> str:
+    parts = [_src_root()]
+    if extra:
+        parts.append(extra)
+    current = os.environ.get("PYTHONPATH")
+    if current:
+        parts.append(current)
+    return os.pathsep.join(parts)
+
+
+class ChaosWorker:
+    """One real ``repro worker`` subprocess under chaos control.
+
+    The worker runs in its own process group so :meth:`kill` /
+    :meth:`suspend` hit the server *and* its pool slots — a SIGKILL that
+    left orphan slot processes behind would be a tidier fault than the
+    one real fleets see.  The port is pinned on first spawn so
+    :meth:`restart` brings the worker back at the same address, which is
+    what lets the scheduler's redial loop find it again.
+    """
+
+    def __init__(
+        self,
+        slots: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        secret: Optional[str] = None,
+        max_idle: Optional[float] = None,
+        extra_pythonpath: Optional[str] = None,
+        env: Optional[dict] = None,
+    ) -> None:
+        self.slots = slots
+        self.host = host
+        self.port = port  # 0 until the first spawn pins it
+        self.secret = secret
+        self.max_idle = max_idle
+        self.extra_pythonpath = extra_pythonpath
+        self.extra_env = dict(env or {})
+        self.proc: Optional[subprocess.Popen] = None
+        self.start()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def start(self) -> None:
+        """Spawn the worker subprocess and parse its LISTENING line."""
+        if self.alive:
+            raise SweepError(f"worker {self.address} is already running")
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--host",
+            self.host,
+            "--port",
+            str(self.port),
+            "--slots",
+            str(self.slots),
+        ]
+        if self.max_idle is not None:
+            cmd += ["--max-idle", str(self.max_idle)]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _pythonpath(self.extra_pythonpath)
+        env["PYTHONUNBUFFERED"] = "1"
+        if self.secret is not None:
+            env["REPRO_SWEEP_SECRET"] = self.secret
+        else:
+            env.pop("REPRO_SWEEP_SECRET", None)
+        env.update(self.extra_env)
+        self.proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+            start_new_session=True,  # own process group: killpg reaches slots
+        )
+        deadline = time.monotonic() + _SPAWN_TIMEOUT_S
+        line = ""
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise SweepError(
+                    f"worker exited before LISTENING "
+                    f"(rc={self.proc.poll()!r})"
+                )
+            if line.startswith("LISTENING "):
+                break
+        else:
+            raise SweepError("worker never printed LISTENING")
+        _host, _, port = line.strip().rpartition(":")
+        self.port = int(port)  # pinned: restarts reuse it
+
+    def restart(self) -> None:
+        """Bring a killed worker back on the same address."""
+        if self.alive:
+            raise SweepError(f"worker {self.address} is still running")
+        self.proc = None
+        self.start()
+
+    # -- faults ---------------------------------------------------------
+
+    def _signal_group(self, signum: int) -> None:
+        if self.proc is None:
+            return
+        try:
+            os.killpg(self.proc.pid, signum)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    def kill(self) -> None:
+        """SIGKILL the whole worker process group (server + slots)."""
+        self._signal_group(signal.SIGKILL)
+        if self.proc is not None:
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+
+    def suspend(self) -> None:
+        """SIGSTOP the group: the worker freezes mid-protocol, heartbeats
+        stop, sockets stay open — the classic grey failure."""
+        self._signal_group(signal.SIGSTOP)
+
+    def resume(self) -> None:
+        self._signal_group(signal.SIGCONT)
+
+    def close(self) -> None:
+        """Tear the worker down for good (SIGCONT first: a suspended
+        process cannot die)."""
+        self._signal_group(signal.SIGCONT)
+        self.kill()
+        if self.proc is not None and self.proc.stdout is not None:
+            try:
+                self.proc.stdout.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ChaosWorker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ChaosProxy:
+    """A TCP forwarder that injects socket-level faults mid-stream.
+
+    Sits between the parent and one worker: the parent dials the proxy's
+    ``port``, the proxy pipes bytes to/from ``upstream``.  Faults:
+
+    * :meth:`set_delay` — every forwarded chunk sleeps first (latency /
+      a slow network);
+    * :meth:`cut` — hard-close every live link mid-stream (connection
+      reset below the protocol's view); new connections still forward,
+      so a redialling scheduler gets through again.
+    """
+
+    def __init__(self, upstream: Tuple[str, int], host: str = "127.0.0.1") -> None:
+        self.upstream = upstream
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(4)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._delay = 0.0
+        self._stopped = threading.Event()
+        self._links: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._accepter = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accepter.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def set_delay(self, seconds: float) -> None:
+        """Delay every forwarded chunk by *seconds* (0 to clear)."""
+        self._delay = max(0.0, seconds)
+
+    def cut(self) -> int:
+        """Hard-close every live link; returns how many were cut."""
+        with self._lock:
+            links, self._links = self._links, []
+        for sock in links:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return len(links)
+
+    def stop(self) -> None:
+        self._stopped.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.cut()
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            try:
+                server = socket.create_connection(self.upstream, timeout=10)
+            except OSError:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            with self._lock:
+                self._links += [client, server]
+            for source, sink in ((client, server), (server, client)):
+                threading.Thread(
+                    target=self._pump, args=(source, sink), daemon=True
+                ).start()
+
+    def _pump(self, source: socket.socket, sink: socket.socket) -> None:
+        while True:
+            try:
+                data = source.recv(1 << 16)
+            except OSError:
+                break
+            if not data:
+                break
+            if self._delay:
+                time.sleep(self._delay)
+            try:
+                sink.sendall(data)
+            except OSError:
+                break
+        for sock in (source, sink):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def kill_restart_loop(
+    worker: ChaosWorker,
+    stop: threading.Event,
+    period_s: float = 1.0,
+    grace_s: float = 0.5,
+    on_cycle: Optional[Callable[[int], None]] = None,
+) -> int:
+    """SIGKILL *worker* every *period_s*, wait *grace_s*, restart it, until
+    *stop* is set.  Returns the number of kill/restart cycles — the CI
+    smoke job asserts it is > 0, i.e. the campaign really ran under fire.
+    """
+    cycles = 0
+    while not stop.wait(period_s):
+        worker.kill()
+        if stop.wait(grace_s):
+            # Killed but not restarted: bring it back so the fixture's
+            # close() semantics stay uniform.
+            worker.restart()
+            break
+        worker.restart()
+        cycles += 1
+        if on_cycle is not None:
+            on_cycle(cycles)
+    return cycles
+
+
+__all__ = ["ChaosProxy", "ChaosWorker", "kill_restart_loop"]

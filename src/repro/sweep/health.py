@@ -1,0 +1,227 @@
+"""Per-worker health scoring and quarantine for the distributed fleet.
+
+The tcp backend's scheduler treats the fleet itself as a system under
+observation: every worker accumulates a health record — connects and
+rejoins, completed rows, task-level failures, connection losses,
+heartbeat jitter — through the same :class:`~repro.analysis.metrics.
+MetricsRegistry` idiom the fault-analysis layer uses for simulated nodes
+(one "node" per worker address, metrics namespaced under the ``fleet``
+layer, canonical sorted snapshots).
+
+A worker that misbehaves repeatedly (``failure_threshold`` consecutive
+failures) is **quarantined**: the scheduler stops assigning it work and
+stops redialling it until the quarantine expires.  Quarantine durations
+back off exponentially per repeat offence (``quarantine_base_s`` doubling
+up to ``quarantine_cap_s``) and *decay* with good behaviour — every
+``decay_rows`` completed rows forgives one quarantine level — so a host
+that flapped during a bad minute earns its way back to full duty instead
+of being written off for the campaign.  Only when the *whole* fleet is
+unusable does the scheduler raise :class:`~repro.sweep.spec.SweepError`;
+one sick worker never fails a campaign on its own.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..analysis.metrics import MetricsRegistry
+from .spec import SweepError
+
+#: consecutive failures (losses or worker-reported task crashes) that
+#: trigger a quarantine.
+DEFAULT_FAILURE_THRESHOLD = 3
+
+#: first quarantine duration; doubles per repeat offence.
+DEFAULT_QUARANTINE_BASE_S = 1.0
+
+#: quarantine durations never exceed this.
+DEFAULT_QUARANTINE_CAP_S = 30.0
+
+#: completed rows that forgive one quarantine level (decaying backoff).
+DEFAULT_DECAY_ROWS = 8
+
+
+class _WorkerState:
+    """Mutable scheduler-side record for one worker address."""
+
+    __slots__ = (
+        "consecutive_failures",
+        "level",
+        "quarantined_until",
+        "rows_since_decay",
+        "last_heartbeat",
+    )
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        #: repeat-offence level: the next quarantine lasts base * 2**level.
+        self.level = 0
+        self.quarantined_until = 0.0
+        self.rows_since_decay = 0
+        self.last_heartbeat: Optional[float] = None
+
+
+class FleetHealth:
+    """Health scores, quarantine policy and per-worker fleet metrics."""
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        quarantine_base_s: float = DEFAULT_QUARANTINE_BASE_S,
+        quarantine_cap_s: float = DEFAULT_QUARANTINE_CAP_S,
+        decay_rows: int = DEFAULT_DECAY_ROWS,
+    ) -> None:
+        if failure_threshold < 1:
+            raise SweepError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if quarantine_base_s <= 0 or quarantine_cap_s < quarantine_base_s:
+            raise SweepError(
+                f"quarantine backoff must satisfy 0 < base <= cap, got "
+                f"base={quarantine_base_s} cap={quarantine_cap_s}"
+            )
+        if decay_rows < 1:
+            raise SweepError(f"decay_rows must be >= 1, got {decay_rows}")
+        self.failure_threshold = failure_threshold
+        self.quarantine_base_s = quarantine_base_s
+        self.quarantine_cap_s = quarantine_cap_s
+        self.decay_rows = decay_rows
+        self.registry = MetricsRegistry()
+        self._state: Dict[str, _WorkerState] = {}
+
+    # ------------------------------------------------------------------
+
+    def _worker(self, address: str) -> _WorkerState:
+        state = self._state.get(address)
+        if state is None:
+            state = _WorkerState()
+            self._state[address] = state
+        return state
+
+    def _metrics(self, address: str):
+        return self.registry.node(address)
+
+    def known_workers(self):
+        """Every address that has ever been scored, sorted."""
+        return sorted(self._state)
+
+    # -- event recording ------------------------------------------------
+
+    def record_connect(self, address: str) -> bool:
+        """Score a successful (authenticated) handshake.
+
+        Returns True when this is a *rejoin* — the address had served
+        before — so the scheduler can run its loss-forgiveness pass.
+        Connecting always clears the consecutive-failure streak and any
+        remaining quarantine (the handshake is itself evidence of
+        health).
+        """
+        metrics = self._metrics(address)
+        rejoin = metrics.counter("fleet", "connects").snapshot() > 0
+        metrics.counter("fleet", "connects").inc()
+        if rejoin:
+            metrics.counter("fleet", "rejoins").inc()
+        state = self._worker(address)
+        state.consecutive_failures = 0
+        state.quarantined_until = 0.0
+        state.last_heartbeat = None
+        return rejoin
+
+    def record_row(self, address: str, wall_seconds: float) -> None:
+        """Score one completed row: clears the failure streak and decays
+        the quarantine level every ``decay_rows`` rows."""
+        metrics = self._metrics(address)
+        metrics.counter("fleet", "rows").inc()
+        metrics.histogram("fleet", "task_wall_ms").observe(
+            int(max(0.0, wall_seconds) * 1000)
+        )
+        state = self._worker(address)
+        state.consecutive_failures = 0
+        state.rows_since_decay += 1
+        if state.level > 0 and state.rows_since_decay >= self.decay_rows:
+            state.level -= 1
+            state.rows_since_decay = 0
+
+    def record_heartbeat(self, address: str, now: Optional[float] = None) -> None:
+        """Score one heartbeat; the gap to the previous one feeds the
+        jitter histogram (milliseconds)."""
+        now = time.monotonic() if now is None else now
+        state = self._worker(address)
+        metrics = self._metrics(address)
+        metrics.counter("fleet", "heartbeats").inc()
+        if state.last_heartbeat is not None:
+            gap_ms = int(max(0.0, now - state.last_heartbeat) * 1000)
+            metrics.histogram("fleet", "heartbeat_gap_ms").observe(gap_ms)
+        state.last_heartbeat = now
+
+    def record_failure(
+        self, address: str, kind: str, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Score one failure (``kind``: ``"loss"`` for a dead/flapping
+        connection, ``"error"`` for a worker-reported task casualty,
+        ``"timeout"`` for heartbeat silence).
+
+        Returns the quarantine duration in seconds when this failure
+        crossed the threshold and quarantined the worker, else ``None``.
+        """
+        now = time.monotonic() if now is None else now
+        metrics = self._metrics(address)
+        metrics.counter("fleet", f"failures_{kind}").inc()
+        state = self._worker(address)
+        state.consecutive_failures += 1
+        state.rows_since_decay = 0
+        metrics.gauge("fleet", "consecutive_failures").set(
+            state.consecutive_failures
+        )
+        if state.consecutive_failures < self.failure_threshold:
+            return None
+        duration = min(
+            self.quarantine_base_s * (2 ** state.level), self.quarantine_cap_s
+        )
+        state.quarantined_until = now + duration
+        state.level += 1
+        state.consecutive_failures = 0
+        metrics.counter("fleet", "quarantines").inc()
+        return duration
+
+    # -- queries ---------------------------------------------------------
+
+    def is_quarantined(self, address: str, now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        state = self._state.get(address)
+        return state is not None and now < state.quarantined_until
+
+    def quarantine_remaining(
+        self, address: str, now: Optional[float] = None
+    ) -> float:
+        now = time.monotonic() if now is None else now
+        state = self._state.get(address)
+        if state is None:
+            return 0.0
+        return max(0.0, state.quarantined_until - now)
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Dict[str, object]]:
+        """Canonical per-worker dump: the metrics-registry snapshot plus
+        live quarantine state, sorted by address."""
+        now = time.monotonic() if now is None else now
+        merged: Dict[str, Dict[str, object]] = {}
+        metrics = self.registry.snapshot()
+        for address in sorted(self._state):
+            state = self._state[address]
+            merged[address] = dict(metrics.get(address, {}))
+            merged[address]["quarantined"] = now < state.quarantined_until
+            merged[address]["quarantine_level"] = state.level
+            merged[address]["quarantine_remaining_s"] = round(
+                max(0.0, state.quarantined_until - now), 3
+            )
+        return merged
+
+
+__all__ = [
+    "DEFAULT_DECAY_ROWS",
+    "DEFAULT_FAILURE_THRESHOLD",
+    "DEFAULT_QUARANTINE_BASE_S",
+    "DEFAULT_QUARANTINE_CAP_S",
+    "FleetHealth",
+]

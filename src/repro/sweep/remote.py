@@ -1,4 +1,4 @@
-"""Distributed sweep executor: a multi-host TCP job protocol.
+"""Distributed sweep executor: a self-healing multi-host TCP job fleet.
 
 The ``tcp`` backend dispatches campaign cells to a fleet of ``repro
 worker`` processes (:class:`WorkerServer`, one per host, each serving N
@@ -8,7 +8,8 @@ goes idle, so a heterogeneous fleet self-balances — a fast host simply
 asks more often.  Rows stream back as they complete and re-enter
 :func:`repro.sweep.run_sweep`'s deterministic task-order merge, so the
 ``tcp`` backend's ``canonical_bytes()`` is byte-identical to the serial
-reference's (asserted in ``tests/sweep/test_remote.py``).
+reference's (asserted in ``tests/sweep/test_remote.py`` and, under live
+fault injection, ``tests/sweep/test_fleet_chaos.py``).
 
 Wire format — every message is one frame::
 
@@ -19,11 +20,34 @@ Wire format — every message is one frame::
 
 The CRC covers the type byte plus the payload, so a corrupted or
 truncated frame is detected before anything is deserialised.  Control
-messages (HELLO/WELCOME/GET/ROW/HEARTBEAT/ERROR/BYE) carry canonical
+messages (HELLO/WELCOME/AUTH/GET/ROW/HEARTBEAT/ERROR/BYE) carry canonical
 JSON; PROGRAM and TASK carry pickles (task functions travel by module
-reference, compiled programs by value).  **The protocol therefore trusts
-the fleet** — run workers only on hosts you control, exactly like any
-other pickle-based job queue.
+reference, compiled programs by value).
+
+**Authentication** (protocol v2): the job protocol ships pickles, so a
+peer must prove knowledge of the fleet's pre-shared secret *before* any
+pickle-bearing frame is deserialised.  The handshake is a mutual HMAC
+challenge/response folded into HELLO/WELCOME plus one AUTH frame::
+
+    parent                                worker
+      | HELLO {version, nonce_p, meta}      |
+      |------------------------------------>|
+      | WELCOME {version, slots, nonce_w,   |
+      |          proof=HMAC(k,"worker",     |
+      |                     nonce_p|nonce_w)}|
+      |<------------------------------------|   parent verifies proof
+      | AUTH {proof=HMAC(k,"parent",        |
+      |                  nonce_w|nonce_p)}  |
+      |------------------------------------>|   worker verifies proof
+      | GET x slots ...                     |
+
+The secret comes from ``REPRO_SWEEP_SECRET`` or ``--secret-file`` on both
+sides (:func:`resolve_secret`); with no secret configured on either side
+the handshake still runs with an empty key, preserving zero-config
+loopback fleets.  A peer with the wrong (or a missing) secret is rejected
+with a clear error — the worker answers BYE and closes without ever
+unpickling a frame, and a v1 peer (no nonce) is refused with a version
+mismatch message.
 
 Program shipping is content-addressed: a :class:`CompiledProgram` param
 is replaced in the wire task by a :class:`ProgramRef` carrying its
@@ -31,21 +55,39 @@ is replaced in the wire task by a :class:`ProgramRef` carrying its
 pushes the program bytes to a worker at most once per campaign — the
 10k-cell grid over one script ships one program per host, not 10k.
 
-Failure model: a worker whose socket dies or whose heartbeats stop is
-declared lost; its in-flight tasks are re-queued onto the surviving fleet
-with a bounded retry budget (``retries``, same knob as the pool backend)
-before becoming a deterministic ``FAILED`` row.  A worker whose *slot
-process* dies (hard crash inside a task) reports the casualty with an
-ERROR frame and keeps serving — the parent applies the same retry budget.
-SIGINT in the parent aborts gracefully: pending cells stay unsent, BYE is
-broadcast, and the outcome truthfully reports ``aborted=interrupted=True``
-covering exactly the journaled rows.
+Self-healing (docs/SWEEP.md, "Fleet security & resilience"):
+
+* **Dynamic membership.**  A worker whose socket dies or whose
+  heartbeats stop is declared lost; its in-flight cells re-queue onto the
+  surviving fleet.  Lost (and never-reached) hosts are *redialled* with
+  exponential backoff for the rest of the campaign, so a worker that is
+  SIGKILLed and restarted — or starts late — rejoins mid-campaign and
+  picks up work.  When a lost worker rejoins healthy, one connection-loss
+  per (cell, worker) pair is forgiven: infrastructure flaps do not burn
+  the ``retries`` budget that exists to catch genuinely poisonous cells.
+  Worker-reported slot crashes (ERROR frames) are never forgiven — the
+  cell itself is the prime suspect there.
+* **Health scoring and quarantine.**  A :class:`~repro.sweep.health.
+  FleetHealth` tracker scores every worker (rows, failures, heartbeat
+  jitter) and quarantines repeat offenders with decaying backoff instead
+  of failing the campaign; per-worker stats surface on
+  ``SweepOutcome.fleet``.  Only a fleet with *no* usable worker for
+  ``REPRO_SWEEP_REJOIN_S`` seconds raises :class:`SweepError`.
+* **Straggler hedging.**  Once enough rows have landed to estimate the
+  campaign's p95 cell wall-time, in-flight cells running far past it are
+  speculatively re-dispatched to idle slots on *other* workers.  First
+  completion wins; duplicate rows are discarded by task index and checked
+  byte-for-byte against the landed row (task results are deterministic,
+  so hedging cannot change ``canonical_bytes()``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import io
 import json
+import math
 import os
 import pickle
 import selectors
@@ -59,6 +101,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from .health import FleetHealth
 from .runner import (
     BackendRun,
     ExecutorContext,
@@ -77,13 +120,16 @@ from .spec import SweepError, SweepResult, SweepTask
 # ---------------------------------------------------------------------------
 
 MAGIC = b"VWJP"
-PROTOCOL_VERSION = 1
+
+#: v2 added the authenticated HELLO/WELCOME/AUTH handshake; v1 peers are
+#: rejected with a clear version-mismatch error.
+PROTOCOL_VERSION = 2
 
 #: frame payloads larger than this are protocol errors, not allocations.
 MAX_FRAME = 64 * 1024 * 1024
 
-MSG_HELLO = 1  # parent -> worker: version + campaign meta + watchdog
-MSG_WELCOME = 2  # worker -> parent: version + slot count
+MSG_HELLO = 1  # parent -> worker: version + nonce + campaign meta
+MSG_WELCOME = 2  # worker -> parent: version + slots + nonce + worker proof
 MSG_GET = 3  # worker -> parent: one idle slot requests one task
 MSG_PROGRAM = 4  # parent -> worker: content-addressed compiled program
 MSG_TASK = 5  # parent -> worker: one campaign cell
@@ -91,6 +137,7 @@ MSG_ROW = 6  # worker -> parent: one completed result row
 MSG_HEARTBEAT = 7  # worker -> parent: liveness
 MSG_ERROR = 8  # worker -> parent: a cell died worker-side (slot crash)
 MSG_BYE = 9  # either direction: orderly goodbye
+MSG_AUTH = 10  # parent -> worker: the parent's HMAC proof
 
 _HEADER = struct.Struct("!4sBI")
 _CRC = struct.Struct("!I")
@@ -101,13 +148,45 @@ _INDEX = struct.Struct("!I")
 #: ``REPRO_SWEEP_WORKERS``).
 HOSTS_ENV = "REPRO_SWEEP_HOSTS"
 
+#: Pre-shared fleet secret; an explicit ``secret=``/``--secret-file``
+#: always wins (see :func:`resolve_secret`).
+SECRET_ENV = "REPRO_SWEEP_SECRET"
+
 #: Timing knobs (seconds), env-overridable so tests can tighten them.
 HEARTBEAT_INTERVAL_ENV = "REPRO_SWEEP_HEARTBEAT_S"
 HEARTBEAT_TIMEOUT_ENV = "REPRO_SWEEP_HEARTBEAT_TIMEOUT_S"
 CONNECT_TIMEOUT_ENV = "REPRO_SWEEP_CONNECT_TIMEOUT_S"
+REJOIN_WINDOW_ENV = "REPRO_SWEEP_REJOIN_S"
 DEFAULT_HEARTBEAT_INTERVAL_S = 2.0
 DEFAULT_HEARTBEAT_TIMEOUT_S = 10.0
 DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
+#: How long the scheduler keeps a campaign alive with *zero* usable
+#: workers, waiting for a rejoin, before raising SweepError.
+DEFAULT_REJOIN_WINDOW_S = 10.0
+
+#: Straggler-hedging knobs.  Hedging is on by default; it cannot change
+#: canonical bytes (results are deterministic, duplicates are dropped) so
+#: the only cost is an occasionally wasted slot.
+HEDGE_ENV = "REPRO_SWEEP_HEDGE"  # "0" disables
+HEDGE_FACTOR_ENV = "REPRO_SWEEP_HEDGE_FACTOR"
+HEDGE_MIN_ROWS_ENV = "REPRO_SWEEP_HEDGE_MIN_ROWS"
+DEFAULT_HEDGE_FACTOR = 2.0
+DEFAULT_HEDGE_MIN_ROWS = 8
+
+#: An in-flight cell is never hedged before running at least this long.
+_HEDGE_FLOOR_S = 0.1
+
+#: At most this many concurrent copies of one cell (original + hedges).
+_HEDGE_MAX_COPIES = 2
+
+#: Redial (rejoin) backoff: first attempt after _REDIAL_BASE_S, doubling
+#: per failure up to _REDIAL_CAP_S; each attempt gives the worker
+#: _REDIAL_TIMEOUT_S to finish the handshake so a half-up host cannot
+#: stall the scheduler loop for long.
+_REDIAL_BASE_S = 0.25
+_REDIAL_CAP_S = 5.0
+_REDIAL_TIMEOUT_S = 2.0
 
 #: Socket send timeout: a peer that cannot drain a frame in this long is
 #: as good as dead.
@@ -115,6 +194,12 @@ _SEND_TIMEOUT_S = 30.0
 
 
 def _env_seconds(name: str, default: float) -> float:
+    """A positive, finite number of seconds from the environment.
+
+    Zero, negative, NaN and infinite values raise :class:`SweepError`
+    naming the variable (the ``REPRO_SWEEP_WORKERS`` convention): a
+    mis-typed knob must never silently configure a broken fleet.
+    """
     value = os.environ.get(name)
     if value is None or value == "":
         return default
@@ -122,8 +207,24 @@ def _env_seconds(name: str, default: float) -> float:
         parsed = float(value)
     except ValueError:
         raise SweepError(f"{name} must be a number of seconds, got {value!r}") from None
-    if parsed <= 0:
-        raise SweepError(f"{name} must be > 0 seconds, got {value!r}")
+    if math.isnan(parsed) or math.isinf(parsed) or parsed <= 0:
+        raise SweepError(
+            f"{name} must be a positive finite number of seconds, got {value!r}"
+        )
+    return parsed
+
+
+def _env_count(name: str, default: int) -> int:
+    """A positive integer from the environment (same validation idiom)."""
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise SweepError(f"{name} must be an integer >= 1, got {value!r}") from None
+    if parsed < 1:
+        raise SweepError(f"{name} must be an integer >= 1, got {value!r}")
     return parsed
 
 
@@ -136,6 +237,62 @@ class ConnectionLost(ProtocolError):
 
 
 # ---------------------------------------------------------------------------
+# Pre-shared-key authentication
+# ---------------------------------------------------------------------------
+
+
+def resolve_secret(
+    secret: Optional[Any] = None, secret_file: Optional[str] = None
+) -> Optional[bytes]:
+    """The fleet's pre-shared secret, or ``None`` when unconfigured.
+
+    Precedence: explicit *secret* (str or bytes) > *secret_file* (its
+    stripped content) > the ``REPRO_SWEEP_SECRET`` environment variable.
+    An unreadable or empty secret file is a :class:`SweepError` — a fleet
+    that *meant* to authenticate must never silently run open.
+    """
+    if secret is not None:
+        data = secret.encode("utf-8") if isinstance(secret, str) else bytes(secret)
+        return data or None
+    if secret_file is not None:
+        try:
+            with open(secret_file, "rb") as handle:
+                data = handle.read().strip()
+        except OSError as exc:
+            raise SweepError(
+                f"cannot read secret file {secret_file!r}: {exc}"
+            ) from None
+        if not data:
+            raise SweepError(f"secret file {secret_file!r} is empty")
+        return data
+    env = os.environ.get(SECRET_ENV)
+    if env:
+        return env.encode("utf-8")
+    return None
+
+
+def _fresh_nonce() -> str:
+    return os.urandom(16).hex()
+
+
+def _auth_proof(
+    secret: Optional[bytes], role: str, nonce_a: str, nonce_b: str
+) -> str:
+    """HMAC-SHA256 proof of the shared secret over both handshake nonces.
+
+    The *role* prefix and the nonce order differ between the worker's and
+    the parent's proof, so one side's proof can never be replayed as the
+    other's.  With no secret configured the key is empty — both-open
+    peers still agree, a one-sided secret is always a mismatch.
+    """
+    key = secret if secret is not None else b""
+    message = b"|".join(
+        (b"vwjp-v2", role.encode("ascii"), nonce_a.encode(), nonce_b.encode())
+    )
+    return hmac.new(key, message, hashlib.sha256).hexdigest()
+
+
+# ---------------------------------------------------------------------------
 # Host parsing
 # ---------------------------------------------------------------------------
 
@@ -143,25 +300,47 @@ class ConnectionLost(ProtocolError):
 def parse_hosts(value: Any) -> List[Tuple[str, int]]:
     """Normalise a fleet description into ``[(host, port), ...]``.
 
-    Accepts a ``"host:port,host:port"`` string, an iterable of such
-    strings, or an iterable of ``(host, port)`` pairs.  Mis-specified
-    entries raise :class:`SweepError` — same convention as the
-    ``REPRO_SWEEP_WORKERS`` validation: never a silent fallback.
+    Accepts a ``"host:port,host:port"`` string (whitespace around entries
+    is ignored), an iterable of such strings, or an iterable of ``(host,
+    port)`` pairs.  Mis-specified entries raise :class:`SweepError` —
+    same convention as the ``REPRO_SWEEP_WORKERS`` validation: never a
+    silent fallback.  Duplicate entries are rejected (each worker serves
+    one parent; dialling it twice would deadlock the second connection),
+    and IPv6 bracket/colon syntax is rejected with a clear error — the
+    fleet syntax supports hostnames and IPv4 addresses only.
     """
     if isinstance(value, str):
-        entries: Sequence[Any] = [v for v in value.split(",") if v.strip() != ""]
+        entries: Sequence[Any] = [
+            v.strip() for v in value.split(",") if v.strip() != ""
+        ]
     else:
         entries = list(value)
     hosts: List[Tuple[str, int]] = []
+    seen: Set[Tuple[str, int]] = set()
     for entry in entries:
         if isinstance(entry, tuple) and len(entry) == 2:
             host, port = entry
         elif isinstance(entry, str):
+            entry = entry.strip()
+            if "[" in entry or "]" in entry:
+                raise SweepError(
+                    f"worker host {entry!r}: IPv6 bracket syntax is not "
+                    f"supported — the fleet syntax takes hostnames or "
+                    f"IPv4 addresses ('host:port')"
+                )
             host, sep, port = entry.rpartition(":")
             if sep == "" or host == "":
                 raise SweepError(
                     f"worker host {entry!r} must be 'host:port' (e.g. "
                     f"127.0.0.1:7777)"
+                )
+            host = host.strip()
+            port = port.strip()
+            if ":" in host:
+                raise SweepError(
+                    f"worker host {entry!r}: multiple ':' separators — "
+                    f"IPv6 addresses are not supported by the fleet "
+                    f"syntax; use a hostname or IPv4 address"
                 )
         else:
             raise SweepError(
@@ -178,7 +357,14 @@ def parse_hosts(value: Any) -> List[Tuple[str, int]]:
             raise SweepError(
                 f"worker host {entry!r}: port must be in 1..65535, got {port}"
             )
-        hosts.append((str(host), port))
+        pair = (str(host), port)
+        if pair in seen:
+            raise SweepError(
+                f"duplicate worker host {pair[0]}:{pair[1]} — each worker "
+                f"serves one parent connection; list it once"
+            )
+        seen.add(pair)
+        hosts.append(pair)
     if not hosts:
         raise SweepError("worker host list is empty")
     return hosts
@@ -229,8 +415,10 @@ class FrameBuffer:
     def next_frame(self) -> Optional[Tuple[int, bytes]]:
         """Pop one complete frame, or ``None`` if more bytes are needed.
 
-        Raises :class:`ProtocolError` on bad magic, oversized length or a
-        CRC mismatch — the connection is unrecoverable after that.
+        Raises :class:`ProtocolError` on bad magic, a length prefix above
+        the :data:`MAX_FRAME` limit (checked **before** any payload is
+        buffered — a garbage length can never provoke an allocation) or a
+        CRC mismatch.  The connection is unrecoverable after that.
         """
         if len(self._buffer) < _HEADER.size:
             return None
@@ -268,7 +456,12 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 
 def read_frame(sock: socket.socket) -> Tuple[int, bytes]:
-    """Blocking read of one complete frame (the worker's receive path)."""
+    """Blocking read of one complete frame (the worker's receive path).
+
+    The length prefix is validated against :data:`MAX_FRAME` before any
+    payload byte is read, so a garbage or malicious peer cannot provoke
+    an unbounded allocation.
+    """
     header = _recv_exact(sock, _HEADER.size)
     magic, mtype, length = _HEADER.unpack(header)
     if magic != MAGIC:
@@ -298,10 +491,10 @@ def _parse_json(payload: bytes, what: str) -> Any:
 class _RestrictedUnpickler(pickle.Unpickler):
     """Unpickler that refuses the classic RCE gadget modules.
 
-    The protocol already trusts the fleet (documented above), but there
-    is no reason to let a stray byte stream reach ``os.system`` — task
-    functions and compiled programs only ever live under ``repro`` or the
-    caller's own campaign modules, so the blocklist costs nothing.
+    The handshake already authenticates the peer, but there is no reason
+    to let a stray byte stream reach ``os.system`` — task functions and
+    compiled programs only ever live under ``repro`` or the caller's own
+    campaign modules, so the blocklist costs nothing.
     """
 
     def find_class(self, module: str, name: str) -> Any:
@@ -399,17 +592,23 @@ class WorkerServer:
     """``repro worker``: serve campaign cells over N local process slots.
 
     Listens for one parent at a time (campaigns are sequential); for each
-    connection it exchanges HELLO/WELCOME, spins up a fresh
-    :class:`ProcessPoolExecutor` of ``slots`` workers, announces one GET
-    per slot, and then executes TASK frames as they arrive — sending a
-    ROW (and a fresh GET) per completion and heartbeating in the
-    background.  The per-connection program store means a parent pushes
-    each compiled program at most once per campaign.
+    connection it runs the authenticated v2 handshake (HELLO/WELCOME/
+    AUTH — no pickle-bearing frame is deserialised until the parent's
+    HMAC proof verifies), spins up a fresh :class:`ProcessPoolExecutor`
+    of ``slots`` workers, announces one GET per slot, and then executes
+    TASK frames as they arrive — sending a ROW (and a fresh GET) per
+    completion and heartbeating in the background.  The per-connection
+    program store means a parent pushes each compiled program at most
+    once per campaign.
 
     A slot process that hard-dies breaks the local pool: the casualty is
     reported upstream as an ERROR frame (the parent re-queues it against
     its retry budget) and the pool is rebuilt, so one poisoned cell
     cannot take the host out of the fleet.
+
+    ``max_idle`` seconds without a parent connection makes
+    :meth:`serve_forever` return (``idle_exit`` set), so orphaned fleet
+    processes do not leak on shared hosts.
     """
 
     def __init__(
@@ -417,18 +616,29 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         slots: Optional[int] = None,
+        secret: Optional[Any] = None,
+        secret_file: Optional[str] = None,
+        max_idle: Optional[float] = None,
     ) -> None:
         if slots is not None and slots < 1:
             raise SweepError(f"worker slots must be >= 1, got {slots}")
+        if max_idle is not None and not max_idle > 0:
+            raise SweepError(f"worker max_idle must be > 0 seconds, got {max_idle}")
         self.slots = slots if slots is not None else default_workers()
+        self.secret = resolve_secret(secret, secret_file)
+        self.max_idle = max_idle
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(1)
+        self._listener.listen(4)
         self.host, self.port = self._listener.getsockname()[:2]
         self._stop = threading.Event()
         #: campaigns served since start (observability / tests).
         self.campaigns_served = 0
+        #: peers rejected by the authenticated handshake (observability).
+        self.auth_failures = 0
+        #: serve_forever returned because max_idle expired.
+        self.idle_exit = False
 
     def stop(self) -> None:
         self._stop.set()
@@ -438,19 +648,33 @@ class WorkerServer:
             pass
 
     def serve_forever(self) -> None:
-        """Accept parents until :meth:`stop` (or the listener dies)."""
+        """Accept parents until :meth:`stop`, listener death, or
+        ``max_idle`` seconds without a parent."""
+        last_parent = time.monotonic()
+        if self.max_idle is not None:
+            # Wake from accept() often enough to notice idleness.
+            self._listener.settimeout(min(0.5, self.max_idle / 4))
         try:
             while not self._stop.is_set():
                 try:
                     conn, _addr = self._listener.accept()
+                except socket.timeout:
+                    if (
+                        self.max_idle is not None
+                        and time.monotonic() - last_parent > self.max_idle
+                    ):
+                        self.idle_exit = True
+                        break
+                    continue
                 except OSError:
                     break  # listener closed by stop()
                 try:
-                    self._serve_connection(conn)
-                    self.campaigns_served += 1
+                    if self._serve_connection(conn):
+                        self.campaigns_served += 1
                 except (ProtocolError, OSError):
                     pass  # a broken parent must not kill the worker
                 finally:
+                    last_parent = time.monotonic()
                     try:
                         conn.close()
                     except OSError:
@@ -460,7 +684,16 @@ class WorkerServer:
 
     # ------------------------------------------------------------------
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    def _refuse(self, conn: socket.socket, error: str) -> bool:
+        """Answer BYE with a reason and refuse the connection."""
+        try:
+            conn.sendall(encode_frame(MSG_BYE, _json_payload({"error": error})))
+        except OSError:
+            pass
+        return False
+
+    def _serve_connection(self, conn: socket.socket) -> bool:
+        """Serve one parent; returns True when a campaign was served."""
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         mtype, payload = read_frame(conn)
         if mtype != MSG_HELLO:
@@ -468,19 +701,20 @@ class WorkerServer:
         hello = _parse_json(payload, "HELLO")
         version = hello.get("version")
         if version != PROTOCOL_VERSION:
-            conn.sendall(
-                encode_frame(
-                    MSG_BYE,
-                    _json_payload(
-                        {
-                            "error": f"protocol version mismatch: parent "
-                            f"speaks {version}, worker speaks "
-                            f"{PROTOCOL_VERSION}"
-                        }
-                    ),
-                )
+            return self._refuse(
+                conn,
+                f"protocol version mismatch: parent speaks {version}, "
+                f"worker speaks {PROTOCOL_VERSION} (v2 added the "
+                f"authenticated handshake — upgrade both peers)",
             )
-            return
+        parent_nonce = hello.get("nonce")
+        if not isinstance(parent_nonce, str) or len(parent_nonce) < 16:
+            return self._refuse(
+                conn,
+                "HELLO carries no handshake nonce — the v2 protocol "
+                "authenticates before any task is accepted",
+            )
+        worker_nonce = _fresh_nonce()
         watchdog = None
         config = hello.get("watchdog")
         if config:
@@ -501,8 +735,38 @@ class WorkerServer:
 
         send(
             MSG_WELCOME,
-            _json_payload({"version": PROTOCOL_VERSION, "slots": self.slots}),
+            _json_payload(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "slots": self.slots,
+                    "nonce": worker_nonce,
+                    "proof": _auth_proof(
+                        self.secret, "worker", parent_nonce, worker_nonce
+                    ),
+                }
+            ),
         )
+        # The parent must prove itself before ANY pickle-bearing frame is
+        # deserialised: the very next frame must be a valid AUTH.
+        mtype, payload = read_frame(conn)
+        if mtype != MSG_AUTH:
+            self.auth_failures += 1
+            return self._refuse(
+                conn,
+                f"authentication required: expected AUTH, got message "
+                f"type {mtype} — no task is accepted before the parent "
+                f"proves the fleet secret",
+            )
+        auth = _parse_json(payload, "AUTH")
+        expected = _auth_proof(self.secret, "parent", worker_nonce, parent_nonce)
+        if not hmac.compare_digest(str(auth.get("proof", "")), expected):
+            self.auth_failures += 1
+            return self._refuse(
+                conn,
+                "authentication failed: parent proof does not match this "
+                "worker's secret (wrong or missing REPRO_SWEEP_SECRET / "
+                "--secret-file?)",
+            )
 
         interval = _env_seconds(
             HEARTBEAT_INTERVAL_ENV, DEFAULT_HEARTBEAT_INTERVAL_S
@@ -611,6 +875,7 @@ class WorkerServer:
         finally:
             alive.clear()
             pool.shutdown(wait=False, cancel_futures=True)
+        return True
 
 
 # ---------------------------------------------------------------------------
@@ -627,7 +892,8 @@ class _Conn:
     slots: int = 0
     idle: int = 0
     pushed: Set[str] = field(default_factory=set)
-    inflight: Dict[int, SweepTask] = field(default_factory=dict)
+    #: task index -> perf_counter() at dispatch on THIS connection.
+    inflight: Dict[int, float] = field(default_factory=dict)
     buffer: FrameBuffer = field(default_factory=FrameBuffer)
     last_seen: float = field(default_factory=time.monotonic)
 
@@ -658,7 +924,7 @@ class TcpExecutor(SweepExecutor):
 
 
 class _Scheduler:
-    """One campaign's pull-based dispatch loop."""
+    """One campaign's self-healing pull-based dispatch loop."""
 
     def __init__(
         self,
@@ -668,6 +934,7 @@ class _Scheduler:
     ) -> None:
         self.ctx = ctx
         self.tasks = tasks
+        self.tasks_by_index = {task.index: task for task in tasks}
         self.pending: Deque[SweepTask] = deque(
             sorted(tasks, key=lambda task: task.index)
         )
@@ -675,27 +942,58 @@ class _Scheduler:
         self.losses: Dict[int, int] = {}
         self.loss_notes: Dict[int, str] = {}
         self.started: Dict[int, float] = {}
+        #: live in-flight copy count per task index (hedging makes >1).
+        self.copies: Dict[int, int] = {}
+        #: worker addresses whose connection-death was charged to a task
+        #: and not yet forgiven by a rejoin.
+        self.loss_sources: Dict[int, List[str]] = {}
+        #: (task, worker) pairs already forgiven — one flap, one pardon.
+        self.forgiven: Dict[int, Set[str]] = {}
+        #: parent-observed completion times; feeds the hedging p95.
+        self.durations: List[float] = []
         self.hosts = hosts
-        self.conns: List[_Conn] = []
+        self.addresses = {f"{host}:{port}": (host, port) for host, port in hosts}
+        self.conns: Dict[str, _Conn] = {}
+        #: hosts that can never join (e.g. failed authentication).
+        self.dead_hosts: Dict[str, str] = {}
+        #: monotonic time before which each lost host is not redialled.
+        self.redial_at: Dict[str, float] = {}
+        self.redial_backoff: Dict[str, float] = {}
+        self.fleet_down_since: Optional[float] = None
         self.selector = selectors.DefaultSelector()
         self.aborted = False
         self.interrupted = False
+        self.secret = resolve_secret(ctx.secret)
+        self.health = FleetHealth()
         self.heartbeat_timeout = _env_seconds(
             HEARTBEAT_TIMEOUT_ENV, DEFAULT_HEARTBEAT_TIMEOUT_S
         )
+        self.rejoin_window = _env_seconds(
+            REJOIN_WINDOW_ENV, DEFAULT_REJOIN_WINDOW_S
+        )
+        self.hedge_enabled = os.environ.get(HEDGE_ENV, "1") != "0"
+        self.hedge_factor = _env_seconds(HEDGE_FACTOR_ENV, DEFAULT_HEDGE_FACTOR)
+        self.hedge_min_rows = _env_count(
+            HEDGE_MIN_ROWS_ENV, DEFAULT_HEDGE_MIN_ROWS
+        )
+        self.stats = {
+            "rejoins": 0,
+            "requeues": 0,
+            "forgiven_losses": 0,
+            "hedges": 0,
+            "hedge_duplicates": 0,
+            "hedge_mismatches": 0,
+        }
 
     # -- connection management -----------------------------------------
 
-    def _connect_fleet(self) -> None:
-        deadline = time.monotonic() + _env_seconds(
-            CONNECT_TIMEOUT_ENV, DEFAULT_CONNECT_TIMEOUT_S
-        )
-        errors: List[str] = []
+    def _hello_payload(self, nonce: str) -> bytes:
         meta = self.ctx.meta or {}
         watchdog = self.ctx.watchdog
-        hello = _json_payload(
+        return _json_payload(
             {
                 "version": PROTOCOL_VERSION,
+                "nonce": nonce,
                 "spec_name": meta.get("name"),
                 "base_seed": meta.get("base_seed"),
                 "tasks": len(self.tasks),
@@ -710,71 +1008,185 @@ class _Scheduler:
                 ),
             }
         )
+
+    def _handshake(self, sock: socket.socket, address: str) -> _Conn:
+        """Run the parent side of the authenticated handshake; raises
+        :class:`ProtocolError` on version or proof mismatch."""
+        nonce = _fresh_nonce()
+        sock.sendall(encode_frame(MSG_HELLO, self._hello_payload(nonce)))
+        mtype, payload = read_frame(sock)
+        if mtype == MSG_BYE:
+            reason = _parse_json(payload, "BYE").get("error", "refused")
+            raise ProtocolError(f"{address}: {reason}")
+        if mtype != MSG_WELCOME:
+            raise ProtocolError(f"{address}: expected WELCOME, got type {mtype}")
+        welcome = _parse_json(payload, "WELCOME")
+        if welcome.get("version") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"{address}: protocol version mismatch "
+                f"(worker speaks {welcome.get('version')}, parent "
+                f"speaks {PROTOCOL_VERSION})"
+            )
+        worker_nonce = welcome.get("nonce")
+        if not isinstance(worker_nonce, str) or len(worker_nonce) < 16:
+            raise ProtocolError(
+                f"{address}: worker sent no handshake nonce (pre-v2 worker?)"
+            )
+        expected = _auth_proof(self.secret, "worker", nonce, worker_nonce)
+        if not hmac.compare_digest(str(welcome.get("proof", "")), expected):
+            raise ProtocolError(
+                f"{address}: worker failed authentication — its proof does "
+                f"not match this parent's secret (wrong or missing "
+                f"REPRO_SWEEP_SECRET / --secret-file?)"
+            )
+        sock.sendall(
+            encode_frame(
+                MSG_AUTH,
+                _json_payload(
+                    {"proof": _auth_proof(self.secret, "parent", worker_nonce, nonce)}
+                ),
+            )
+        )
+        return _Conn(
+            sock=sock,
+            address=address,
+            slots=max(1, int(welcome.get("slots", 1))),
+        )
+
+    def _dial(self, host: str, port: int, timeout: float) -> _Conn:
+        """One connect + handshake attempt (raises OSError/ProtocolError)."""
+        address = f"{host}:{port}"
+        sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(timeout)
+            conn = self._handshake(sock, address)
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        return conn
+
+    def _admit(self, conn: _Conn) -> None:
+        """Register a freshly handshaken worker; a rejoin forgives the
+        connection losses previously charged to this address."""
+        conn.sock.settimeout(_SEND_TIMEOUT_S)
+        conn.last_seen = time.monotonic()
+        self.selector.register(conn.sock, selectors.EVENT_READ, conn)
+        self.conns[conn.address] = conn
+        self.fleet_down_since = None
+        self.redial_backoff.pop(conn.address, None)
+        self.redial_at.pop(conn.address, None)
+        rejoined = self.health.record_connect(conn.address)
+        if rejoined:
+            self.stats["rejoins"] += 1
+            self._forgive_losses(conn.address)
+        total = sum(c.slots for c in self.conns.values())
+        if self.ctx.effective_workers is None or total > self.ctx.effective_workers:
+            self.ctx.effective_workers = total
+
+    def _forgive_losses(self, address: str) -> None:
+        """A worker that died and rejoined healthy was an infrastructure
+        flap, not a poisonous cell: refund one charged loss per (cell,
+        worker) pair for cells that have not yet produced a row."""
+        for index, sources in self.loss_sources.items():
+            if index in self.rows:
+                continue
+            pardoned = self.forgiven.setdefault(index, set())
+            if address in sources and address not in pardoned:
+                sources.remove(address)
+                pardoned.add(address)
+                if self.losses.get(index, 0) > 0:
+                    self.losses[index] -= 1
+                    self.stats["forgiven_losses"] += 1
+
+    def _connect_fleet(self) -> None:
+        deadline = time.monotonic() + _env_seconds(
+            CONNECT_TIMEOUT_ENV, DEFAULT_CONNECT_TIMEOUT_S
+        )
+        errors: List[str] = []
         for host, port in self.hosts:
             address = f"{host}:{port}"
-            sock: Optional[socket.socket] = None
+            conn: Optional[_Conn] = None
             while True:
                 try:
-                    sock = socket.create_connection(
-                        (host, port), timeout=_SEND_TIMEOUT_S
-                    )
+                    conn = self._dial(host, port, timeout=_SEND_TIMEOUT_S)
+                    break
+                except ProtocolError as exc:
+                    errors.append(str(exc))
+                    if "authentication" in str(exc) or "version mismatch" in str(exc):
+                        # A wrong secret or an old peer never heals by
+                        # redialling: write the host off for the campaign.
+                        self.dead_hosts[address] = str(exc)
                     break
                 except OSError as exc:
                     if time.monotonic() >= deadline:
                         errors.append(f"{address}: {exc}")
-                        sock = None
                         break
                     time.sleep(0.05)
-            if sock is None:
-                continue
-            try:
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                sock.sendall(encode_frame(MSG_HELLO, hello))
-                mtype, payload = read_frame(sock)
-                if mtype == MSG_BYE:
-                    reason = _parse_json(payload, "BYE").get("error", "refused")
-                    raise ProtocolError(f"{address}: {reason}")
-                if mtype != MSG_WELCOME:
-                    raise ProtocolError(
-                        f"{address}: expected WELCOME, got type {mtype}"
-                    )
-                welcome = _parse_json(payload, "WELCOME")
-                if welcome.get("version") != PROTOCOL_VERSION:
-                    raise ProtocolError(
-                        f"{address}: protocol version mismatch "
-                        f"(worker speaks {welcome.get('version')}, parent "
-                        f"speaks {PROTOCOL_VERSION})"
-                    )
-                conn = _Conn(
-                    sock=sock,
-                    address=address,
-                    slots=max(1, int(welcome.get("slots", 1))),
-                )
-                sock.settimeout(_SEND_TIMEOUT_S)
-                self.selector.register(sock, selectors.EVENT_READ, conn)
-                self.conns.append(conn)
-            except (ProtocolError, OSError) as exc:
-                errors.append(f"{address}: {exc}")
-                try:
-                    sock.close()
-                except OSError:
-                    pass
+            if conn is not None:
+                self._admit(conn)
+            elif address not in self.dead_hosts:
+                # Not reachable yet: keep redialling — a late worker can
+                # still join the campaign.
+                self._schedule_redial(address, None)
         if not self.conns:
             raise SweepError(
                 "tcp backend could not reach any worker: "
                 + "; ".join(errors or ["no hosts"])
             )
-        self.ctx.effective_workers = sum(conn.slots for conn in self.conns)
+
+    def _schedule_redial(self, address: str, quarantine_s: Optional[float]) -> None:
+        now = time.monotonic()
+        current = self.redial_backoff.get(address, _REDIAL_BASE_S)
+        delay = max(current, quarantine_s or 0.0)
+        self.redial_at[address] = now + delay
+        self.redial_backoff[address] = min(current * 2, _REDIAL_CAP_S)
+
+    def _maybe_redial(self) -> None:
+        """Attempt at most one due redial per loop tick (a blocking
+        handshake attempt is bounded by ``_REDIAL_TIMEOUT_S``)."""
+        if self.aborted:
+            return
+        if not self.pending and len(self.rows) == len(self.tasks):
+            return
+        now = time.monotonic()
+        for address, (host, port) in self.addresses.items():
+            if address in self.conns or address in self.dead_hosts:
+                continue
+            due = self.redial_at.get(address)
+            if due is None or now < due:
+                continue
+            if self.health.is_quarantined(address, now):
+                self.redial_at[address] = now + self.health.quarantine_remaining(
+                    address, now
+                )
+                continue
+            try:
+                conn = self._dial(host, port, timeout=_REDIAL_TIMEOUT_S)
+            except ProtocolError as exc:
+                if "authentication" in str(exc) or "version mismatch" in str(exc):
+                    self.dead_hosts[address] = str(exc)
+                else:
+                    self._schedule_redial(address, None)
+            except OSError:
+                self._schedule_redial(address, None)
+            else:
+                self._admit(conn)
+            return  # one attempt per tick keeps the loop responsive
 
     def _send(self, conn: _Conn, mtype: int, payload: bytes) -> None:
         conn.sock.sendall(encode_frame(mtype, payload))
 
     def _lose(self, conn: _Conn, reason: str) -> None:
-        """Declare a worker dead: re-queue its in-flight cells against the
-        retry budget, fail the ones that exhausted it."""
-        if conn not in self.conns:
+        """Declare a worker lost: re-queue its in-flight cells, charge the
+        losses to this address (forgivable on rejoin), score its health
+        and schedule a redial."""
+        if self.conns.get(conn.address) is not conn:
             return
-        self.conns.remove(conn)
+        del self.conns[conn.address]
         try:
             self.selector.unregister(conn.sock)
         except (KeyError, ValueError):
@@ -783,24 +1195,34 @@ class _Scheduler:
             conn.sock.close()
         except OSError:
             pass
+        quarantine = self.health.record_failure(conn.address, "loss")
         requeued: List[SweepTask] = []
-        for index, task in sorted(conn.inflight.items()):
-            self._record_casualty(task, f"worker {conn.address} lost: {reason}")
+        for index in sorted(conn.inflight):
+            self.copies[index] = max(0, self.copies.get(index, 1) - 1)
             if index in self.rows:
-                continue  # retry budget exhausted: FAILED row already landed
-            requeued.append(task)
+                continue
+            if self.copies[index] > 0:
+                continue  # a hedged copy is still running elsewhere
+            self.loss_sources.setdefault(index, []).append(conn.address)
+            self._record_casualty(index, f"worker {conn.address} lost: {reason}")
+            if index not in self.rows:
+                requeued.append(self.tasks_by_index[index])
         conn.inflight.clear()
         if requeued:
+            self.stats["requeues"] += len(requeued)
             self.pending = deque(
                 sorted(
                     list(self.pending) + requeued, key=lambda task: task.index
                 )
             )
+        self._schedule_redial(conn.address, quarantine)
+        if not self.conns and self.fleet_down_since is None:
+            self.fleet_down_since = time.monotonic()
 
-    def _record_casualty(self, task: SweepTask, note: str) -> None:
-        """Count one lost execution of *task*; emit the deterministic
+    def _record_casualty(self, index: int, note: str) -> None:
+        """Count one lost execution of the cell; emit the deterministic
         FAILED row once the budget (``retries`` re-queues) is spent."""
-        index = task.index
+        task = self.tasks_by_index[index]
         self.losses[index] = self.losses.get(index, 0) + 1
         self.loss_notes[index] = note
         if self.losses[index] <= self.ctx.retries:
@@ -830,7 +1252,7 @@ class _Scheduler:
 
     # -- dispatch -------------------------------------------------------
 
-    def _assign(self, conn: _Conn, task: SweepTask) -> bool:
+    def _assign(self, conn: _Conn, task: SweepTask, hedge: bool = False) -> bool:
         """Ship one task to one idle slot; False when the send fails (the
         connection is then declared lost and the task re-queued)."""
         wire, programs = export_task(task)
@@ -855,13 +1277,16 @@ class _Scheduler:
         except OSError as exc:
             conn.inflight.pop(task.index, None)
             self._lose(conn, f"send failed: {exc}")
-            self.pending = deque(
-                sorted(list(self.pending) + [task], key=lambda t: t.index)
-            )
+            if not hedge and task.index not in self.rows:
+                self.pending = deque(
+                    sorted(list(self.pending) + [task], key=lambda t: t.index)
+                )
             return False
         conn.idle -= 1
-        conn.inflight[task.index] = task
-        self.started.setdefault(task.index, time.perf_counter())
+        conn.inflight[task.index] = time.perf_counter()
+        self.copies[task.index] = self.copies.get(task.index, 0) + 1
+        if not hedge:
+            self.started.setdefault(task.index, time.perf_counter())
         return True
 
     def _dispatch(self) -> None:
@@ -870,13 +1295,64 @@ class _Scheduler:
         progress = True
         while progress and self.pending:
             progress = False
-            for conn in list(self.conns):
+            for conn in list(self.conns.values()):
                 if not self.pending:
                     break
+                if self.health.is_quarantined(conn.address):
+                    continue  # connected but benched: no new work
                 if conn.idle > 0:
                     task = self.pending.popleft()
                     if self._assign(conn, task):
                         progress = True
+        if not self.pending:
+            self._hedge_stragglers()
+
+    def _hedge_threshold(self) -> Optional[float]:
+        if not self.hedge_enabled or len(self.durations) < self.hedge_min_rows:
+            return None
+        ordered = sorted(self.durations)
+        p95 = ordered[int(0.95 * (len(ordered) - 1))]
+        return max(self.hedge_factor * p95, _HEDGE_FLOOR_S)
+
+    def _hedge_stragglers(self) -> None:
+        """Speculatively re-dispatch the slowest in-flight cells to idle
+        slots on other workers.  First completion wins; the duplicate row
+        is discarded (and byte-checked) when it arrives."""
+        if self.aborted:
+            return
+        threshold = self._hedge_threshold()
+        if threshold is None:
+            return
+        now = time.perf_counter()
+        elapsed_by_index: Dict[int, float] = {}
+        running_on: Dict[int, Set[str]] = {}
+        for conn in self.conns.values():
+            for index, dispatched in conn.inflight.items():
+                elapsed = now - dispatched
+                elapsed_by_index[index] = max(
+                    elapsed_by_index.get(index, 0.0), elapsed
+                )
+                running_on.setdefault(index, set()).add(conn.address)
+        stragglers = sorted(
+            (
+                (elapsed, index)
+                for index, elapsed in elapsed_by_index.items()
+                if elapsed > threshold
+                and index not in self.rows
+                and self.copies.get(index, 0) < _HEDGE_MAX_COPIES
+            ),
+            reverse=True,
+        )
+        for _elapsed, index in stragglers:
+            for conn in self.conns.values():
+                if (
+                    conn.idle > 0
+                    and conn.address not in running_on.get(index, set())
+                    and not self.health.is_quarantined(conn.address)
+                ):
+                    if self._assign(conn, self.tasks_by_index[index], hedge=True):
+                        self.stats["hedges"] += 1
+                    break
 
     # -- frame handling -------------------------------------------------
 
@@ -887,27 +1363,53 @@ class _Scheduler:
         elif mtype == MSG_ROW:
             record = _parse_json(payload, "ROW")
             row = SweepResult.from_record(record)
-            task = conn.inflight.pop(row.index, None)
-            if task is None or row.index in self.rows:
-                return  # stale row (already failed via retry budget)
+            dispatched = conn.inflight.pop(row.index, None)
+            if dispatched is None:
+                return  # unsolicited row: drop
+            self.copies[row.index] = max(0, self.copies.get(row.index, 1) - 1)
+            self.health.record_row(conn.address, row.wall_seconds)
+            if row.index in self.rows:
+                # The losing copy of a hedged cell (or a cell already
+                # FAILED by the retry budget).  Deterministic tasks make
+                # duplicates byte-identical; verify rather than trust.
+                self.stats["hedge_duplicates"] += 1
+                landed = self.rows[row.index]
+                if landed.status == SweepResult.OK and (
+                    row.canonical() != landed.canonical()
+                ):
+                    self.stats["hedge_mismatches"] += 1
+                return
+            self.durations.append(
+                time.perf_counter()
+                - self.started.get(row.index, time.perf_counter())
+            )
             self._land(row)
         elif mtype == MSG_ERROR:
             report = _parse_json(payload, "ERROR")
             index = int(report.get("index", -1))
-            task = conn.inflight.pop(index, None)
-            if task is None or index in self.rows:
+            dispatched = conn.inflight.pop(index, None)
+            if dispatched is None or index in self.rows:
                 return
+            self.copies[index] = max(0, self.copies.get(index, 1) - 1)
+            # A slot crash is the cell's own doing until proven otherwise:
+            # it burns the retry budget and is never forgiven on rejoin.
+            self.health.record_failure(conn.address, "error")
+            if self.copies[index] > 0:
+                return  # a hedged copy is still running elsewhere
             self._record_casualty(
-                task,
+                index,
                 f"worker {conn.address} reported: "
                 f"{report.get('detail') or report.get('error')}",
             )
             if index not in self.rows:
                 self.pending = deque(
-                    sorted(list(self.pending) + [task], key=lambda t: t.index)
+                    sorted(
+                        list(self.pending) + [self.tasks_by_index[index]],
+                        key=lambda t: t.index,
+                    )
                 )
         elif mtype == MSG_HEARTBEAT:
-            pass
+            self.health.record_heartbeat(conn.address)
         elif mtype == MSG_BYE:
             self._lose(conn, "worker said BYE mid-campaign")
         else:
@@ -934,19 +1436,19 @@ class _Scheduler:
             if frame is None:
                 return
             self._handle_frame(conn, *frame)
-            if conn not in self.conns:
+            if self.conns.get(conn.address) is not conn:
                 return  # _handle_frame declared it lost
 
     # -- the loop -------------------------------------------------------
 
     def _done(self) -> bool:
         if self.aborted:
-            return not any(conn.inflight for conn in self.conns)
+            return not any(conn.inflight for conn in self.conns.values())
         return len(self.rows) == len(self.tasks)
 
     def _check_liveness(self) -> None:
         now = time.monotonic()
-        for conn in list(self.conns):
+        for conn in list(self.conns.values()):
             if now - conn.last_seen > self.heartbeat_timeout:
                 self._lose(
                     conn,
@@ -954,8 +1456,45 @@ class _Scheduler:
                     f"(timeout {self.heartbeat_timeout:g}s)",
                 )
 
+    def _check_fleet(self) -> None:
+        """Raise only when the *whole* fleet has been unusable for the
+        rejoin window with work still outstanding — a single sick worker
+        (or a restart-in-progress) never fails the campaign."""
+        if self.conns or self.aborted:
+            return
+        if len(self.rows) == len(self.tasks):
+            return
+        now = time.monotonic()
+        if self.fleet_down_since is None:
+            self.fleet_down_since = now
+        unfinished = len(self.tasks) - len(self.rows)
+        if self.addresses and all(
+            address in self.dead_hosts for address in self.addresses
+        ):
+            raise SweepError(
+                f"tcp backend lost every worker with {unfinished} task(s) "
+                f"unfinished and no host can rejoin: "
+                + "; ".join(sorted(self.dead_hosts.values()))
+            )
+        if now - self.fleet_down_since >= self.rejoin_window:
+            raise SweepError(
+                f"tcp backend lost every worker with {unfinished} task(s) "
+                f"unfinished and none rejoined within "
+                f"{self.rejoin_window:g}s (journaled rows are safe; resume "
+                f"with a live fleet, or raise {REJOIN_WINDOW_ENV})"
+            )
+
+    def _fleet_snapshot(self) -> Dict[str, Any]:
+        """What the campaign outcome reports as ``fleet``: per-worker
+        health (MetricsRegistry snapshot + quarantine state) plus the
+        scheduler's own self-healing counters."""
+        return {
+            "workers": self.health.snapshot(),
+            "scheduler": {key: self.stats[key] for key in sorted(self.stats)},
+        }
+
     def _broadcast_bye(self) -> None:
-        for conn in list(self.conns):
+        for conn in list(self.conns.values()):
             try:
                 self._send(conn, MSG_BYE, b"{}")
             except OSError:
@@ -983,13 +1522,9 @@ class _Scheduler:
                 for key, _mask in events:
                     self._pump(key.data)
                 self._check_liveness()
-                if self.pending and not self.conns and not self.aborted:
-                    raise SweepError(
-                        f"tcp backend lost every worker with "
-                        f"{len(self.pending)} task(s) still pending "
-                        f"(journaled rows are safe; resume with a live fleet)"
-                    )
-                if not self.conns:
+                self._maybe_redial()
+                self._check_fleet()
+                if self.aborted and not self.conns:
                     break  # aborted with the fleet gone: nothing to wait on
                 self._dispatch()
         except KeyboardInterrupt:
@@ -997,6 +1532,7 @@ class _Scheduler:
             # row; pending cells stay unsent, in-flight rows are dropped.
             self.aborted = self.interrupted = True
         finally:
+            self.ctx.fleet_stats = self._fleet_snapshot()
             self._broadcast_bye()
         return self.rows, self.aborted, self.interrupted
 
@@ -1006,9 +1542,11 @@ __all__ = [
     "FrameBuffer",
     "HOSTS_ENV",
     "MAGIC",
+    "MAX_FRAME",
     "PROTOCOL_VERSION",
     "ProgramRef",
     "ProtocolError",
+    "SECRET_ENV",
     "TcpExecutor",
     "WorkerServer",
     "default_hosts",
@@ -1016,5 +1554,6 @@ __all__ = [
     "export_task",
     "parse_hosts",
     "read_frame",
+    "resolve_secret",
     "resolve_task",
 ]

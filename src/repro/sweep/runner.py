@@ -293,6 +293,12 @@ class ExecutorContext:
     hosts: Optional[Any] = None
     meta: Optional[Dict[str, Any]] = None
     effective_workers: Optional[int] = None
+    #: pre-shared fleet secret for remote executors (str/bytes or None;
+    #: ``None`` falls through to ``REPRO_SWEEP_SECRET``).
+    secret: Optional[Any] = None
+    #: backchannel: remote executors report per-worker health and
+    #: self-healing counters here; the outcome surfaces it as ``fleet``.
+    fleet_stats: Optional[Dict[str, Any]] = None
 
 
 class SweepExecutor:
@@ -531,6 +537,7 @@ def run_sweep(
     timeout_retries: int = DEFAULT_TIMEOUT_RETRIES,
     timeout_backoff: float = DEFAULT_TIMEOUT_BACKOFF,
     hosts: Optional[Any] = None,
+    secret: Optional[Any] = None,
 ) -> SweepOutcome:
     """Execute a campaign and merge its rows deterministically.
 
@@ -544,6 +551,9 @@ def run_sweep(
     ``REPRO_SWEEP_BACKEND`` > ``parallel``).  *hosts* configures the
     ``tcp`` backend's worker fleet — a ``"host:port,host:port"`` string or
     a list (precedence: explicit argument > ``REPRO_SWEEP_HOSTS``).
+    *secret* is the fleet's pre-shared authentication secret (precedence:
+    explicit argument > ``REPRO_SWEEP_SECRET``); both peers of the tcp job
+    protocol must hold the same secret or the handshake is refused.
 
     *fail_fast* stops the campaign at the first failed row: the serial
     backend stops enumerating, the pool backend cancels every task not yet
@@ -667,6 +677,7 @@ def run_sweep(
         on_row=on_row,
         hosts=hosts,
         meta=meta,
+        secret=secret,
     )
     if fail_fast and any(_is_failure(row) for row in prefilled.values()):
         # A replayed/cached failure already decides the campaign.
@@ -696,4 +707,5 @@ def run_sweep(
         resumed=resumed,
         cached_rows=cached_rows,
         timed_out=sum(1 for row in rows if row.status == SweepResult.TIMEOUT),
+        fleet=context.fleet_stats,
     )

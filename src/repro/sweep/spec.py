@@ -182,6 +182,10 @@ class SweepOutcome:
     cached_rows: int = 0
     #: rows recorded as ``TIMEOUT`` by the task watchdog.
     timed_out: int = 0
+    #: per-worker fleet health and self-healing counters reported by
+    #: remote backends (``None`` for local backends).  Non-canonical:
+    #: real-world accounting, excluded from :meth:`canonical_bytes`.
+    fleet: Optional[Dict[str, Any]] = None
 
     @property
     def failures(self) -> List[SweepResult]:

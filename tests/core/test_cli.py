@@ -221,6 +221,21 @@ class TestSweep:
         assert warm["cached_rows"] == 2
         assert warm["rows"] == cold["rows"]
 
+    def test_retries_flag_reaches_the_runner(self, fig5_path):
+        # A negative budget is rejected by run_sweep's validation, which
+        # proves the flag is wired through rather than silently dropped.
+        code, text = run_cli(
+            "sweep", fig5_path, "--seeds", "0", "--backend", "serial",
+            "--retries", "-1",
+        )
+        assert code == 2
+        assert "retries" in text
+        code, _ = run_cli(
+            "sweep", fig5_path, "--seeds", "0", "--backend", "serial",
+            "--retries", "3",
+        )
+        assert code == 0
+
     def test_journal_without_resume_refuses_overwrite(self, fig5_path, tmp_path):
         journal = tmp_path / "campaign.jsonl"
         base = ("sweep", fig5_path, "--seeds", "0", "--backend", "serial",

@@ -1,0 +1,556 @@
+"""Fleet chaos: real worker subprocesses, real sockets, real faults.
+
+The acceptance bar for the self-healing fleet: campaigns whose workers
+are SIGKILLed, SIGSTOPped and restarted mid-run — including rejoin after
+SIGKILL — still complete with rows byte-identical to the serial backend,
+and a peer without the fleet secret is rejected before any pickle is
+deserialised.
+"""
+
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.sweep import SweepSpec, WorkerServer, run_sweep
+from repro.sweep import remote
+from repro.sweep.chaos import ChaosProxy, ChaosWorker, kill_restart_loop
+from repro.sweep.remote import (
+    MSG_AUTH,
+    MSG_BYE,
+    MSG_HELLO,
+    MSG_TASK,
+    MSG_WELCOME,
+    _fresh_nonce,
+    _json_payload,
+    _parse_json,
+    encode_frame,
+    read_frame,
+)
+from repro.sweep.spec import SweepError, SweepTask
+
+from tests.sweep._remote_tasks import ok_task, sleepy_task
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _tight_heartbeats(monkeypatch, timeout="1.0", rejoin="30"):
+    """Fast failure detection, generous rejoin window (tests must never
+    flake on a slow CI box)."""
+    monkeypatch.setenv("REPRO_SWEEP_HEARTBEAT_S", "0.2")
+    monkeypatch.setenv("REPRO_SWEEP_HEARTBEAT_TIMEOUT_S", timeout)
+    monkeypatch.setenv("REPRO_SWEEP_REJOIN_S", rejoin)
+
+
+def _sleepy_campaign(name, cells, sleep_s=0.25, base_seed=21):
+    spec = SweepSpec(name, base_seed=base_seed)
+    for i in range(cells):
+        spec.add(f"t{i}", sleepy_task, sleep_s=sleep_s)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Kill / restart / rejoin
+# ---------------------------------------------------------------------------
+
+
+class TestKillRestartRejoin:
+    def test_sigkill_then_restart_rejoins_byte_identical(self, monkeypatch):
+        """THE acceptance test: SIGKILL a worker mid-campaign, restart it
+        on the same port, and prove (a) the campaign completes, (b) the
+        restarted worker *rejoined* and served, (c) rows are
+        byte-identical to serial."""
+        _tight_heartbeats(monkeypatch)
+        spec = _sleepy_campaign("chaos-kill", 20, sleep_s=0.25)
+        serial = run_sweep(spec, backend="serial")
+        workers = [
+            ChaosWorker(slots=1, extra_pythonpath=REPO_ROOT) for _ in range(2)
+        ]
+        try:
+            hosts = ",".join(w.address for w in workers)
+
+            def chaos():
+                time.sleep(0.5)  # mid-campaign: cells are in flight
+                workers[0].kill()
+                time.sleep(0.3)
+                workers[0].restart()  # same port: the scheduler redials it
+
+            agent = threading.Thread(target=chaos, daemon=True)
+            agent.start()
+            tcp = run_sweep(spec, backend="tcp", hosts=hosts, retries=1)
+            agent.join(timeout=30)
+            assert tcp.passed, tcp.render()
+            assert tcp.canonical_bytes() == serial.canonical_bytes()
+            assert tcp.fleet is not None
+            assert tcp.fleet["scheduler"]["rejoins"] >= 1
+            # The restarted worker really served: both addresses scored rows.
+            rows_by_worker = {
+                addr: stats.get("fleet.rows", 0)
+                for addr, stats in tcp.fleet["workers"].items()
+            }
+            assert rows_by_worker[workers[1].address] >= 1
+        finally:
+            for worker in workers:
+                worker.close()
+
+    def test_kill_restart_loop_under_fire(self, monkeypatch):
+        """The CI smoke shape: a killer loop SIGKILLs and restarts one
+        worker repeatedly while the campaign runs; rows stay
+        byte-identical to serial."""
+        _tight_heartbeats(monkeypatch)
+        spec = _sleepy_campaign("chaos-loop", 14, sleep_s=0.2, base_seed=5)
+        serial = run_sweep(spec, backend="serial")
+        workers = [
+            ChaosWorker(slots=1, extra_pythonpath=REPO_ROOT) for _ in range(2)
+        ]
+        stop = threading.Event()
+        cycles = []
+        try:
+            killer = threading.Thread(
+                target=lambda: cycles.append(
+                    kill_restart_loop(
+                        workers[0], stop, period_s=0.8, grace_s=0.3
+                    )
+                ),
+                daemon=True,
+            )
+            killer.start()
+            tcp = run_sweep(
+                spec,
+                backend="tcp",
+                hosts=",".join(w.address for w in workers),
+                retries=3,
+            )
+            stop.set()
+            killer.join(timeout=30)
+            assert tcp.passed, tcp.render()
+            assert tcp.canonical_bytes() == serial.canonical_bytes()
+            assert cycles and cycles[0] >= 1  # the campaign ran under fire
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.close()
+
+
+# ---------------------------------------------------------------------------
+# Suspend / resume (grey failure)
+# ---------------------------------------------------------------------------
+
+
+class TestSuspendResume:
+    def test_sigstop_worker_is_lost_then_rejoins(self, monkeypatch):
+        """SIGSTOP freezes a worker mid-protocol (sockets stay open,
+        heartbeats stop): the parent declares it lost via heartbeat
+        timeout, re-queues its cell, and the worker rejoins after
+        SIGCONT."""
+        _tight_heartbeats(monkeypatch, timeout="1.0")
+        spec = _sleepy_campaign("chaos-stop", 14, sleep_s=0.2, base_seed=9)
+        serial = run_sweep(spec, backend="serial")
+        workers = [
+            ChaosWorker(slots=1, extra_pythonpath=REPO_ROOT) for _ in range(2)
+        ]
+        try:
+
+            def chaos():
+                time.sleep(0.4)
+                workers[0].suspend()
+                time.sleep(1.6)  # > heartbeat timeout: declared lost
+                workers[0].resume()
+
+            agent = threading.Thread(target=chaos, daemon=True)
+            agent.start()
+            tcp = run_sweep(
+                spec,
+                backend="tcp",
+                hosts=",".join(w.address for w in workers),
+                retries=2,
+            )
+            agent.join(timeout=30)
+            assert tcp.passed, tcp.render()
+            assert tcp.canonical_bytes() == serial.canonical_bytes()
+        finally:
+            for worker in workers:
+                worker.resume()
+                worker.close()
+
+
+# ---------------------------------------------------------------------------
+# Socket-level faults: delay and mid-stream cut via the chaos proxy
+# ---------------------------------------------------------------------------
+
+
+class TestSocketChaos:
+    def test_proxy_delay_and_midstream_cut(self, monkeypatch):
+        """Inject latency below the protocol's view, then hard-close the
+        live links mid-stream: the parent re-queues and redials through
+        the proxy, and the campaign stays byte-identical to serial."""
+        _tight_heartbeats(monkeypatch, timeout="2.0")
+        spec = _sleepy_campaign("chaos-proxy", 12, sleep_s=0.2, base_seed=13)
+        serial = run_sweep(spec, backend="serial")
+        behind = ChaosWorker(slots=1, extra_pythonpath=REPO_ROOT)
+        direct = ChaosWorker(slots=1, extra_pythonpath=REPO_ROOT)
+        proxy = ChaosProxy(upstream=(behind.host, behind.port))
+        try:
+
+            def chaos():
+                time.sleep(0.4)
+                proxy.set_delay(0.05)
+                time.sleep(0.4)
+                proxy.set_delay(0.0)
+                assert proxy.cut() >= 1  # links were live mid-stream
+
+            agent = threading.Thread(target=chaos, daemon=True)
+            agent.start()
+            tcp = run_sweep(
+                spec,
+                backend="tcp",
+                hosts=f"{proxy.address},{direct.address}",
+                retries=2,
+            )
+            agent.join(timeout=30)
+            assert tcp.passed, tcp.render()
+            assert tcp.canonical_bytes() == serial.canonical_bytes()
+        finally:
+            proxy.stop()
+            behind.close()
+            direct.close()
+
+
+# ---------------------------------------------------------------------------
+# Straggler hedging
+# ---------------------------------------------------------------------------
+
+
+class TestHedging:
+    def test_stuck_worker_cell_is_hedged_to_an_idle_slot(self, monkeypatch):
+        """A worker that freezes while holding a cell (heartbeat timeout
+        too long to declare it lost) stalls one in-flight cell; once the
+        p95 is known, the scheduler re-dispatches that cell to an idle
+        slot and the campaign completes — byte-identical, duplicates
+        discarded."""
+        monkeypatch.setenv("REPRO_SWEEP_HEARTBEAT_S", "0.2")
+        monkeypatch.setenv("REPRO_SWEEP_HEARTBEAT_TIMEOUT_S", "60")
+        monkeypatch.setenv("REPRO_SWEEP_HEDGE_MIN_ROWS", "4")
+        spec = _sleepy_campaign("chaos-hedge", 14, sleep_s=0.1, base_seed=17)
+        serial = run_sweep(spec, backend="serial")
+        workers = [
+            ChaosWorker(slots=1, extra_pythonpath=REPO_ROOT) for _ in range(2)
+        ]
+        try:
+
+            def chaos():
+                time.sleep(0.6)  # several rows landed: p95 is known
+                workers[0].suspend()  # freezes holding one in-flight cell
+
+            agent = threading.Thread(target=chaos, daemon=True)
+            agent.start()
+            tcp = run_sweep(
+                spec,
+                backend="tcp",
+                hosts=",".join(w.address for w in workers),
+            )
+            agent.join(timeout=30)
+            assert tcp.passed, tcp.render()
+            assert tcp.canonical_bytes() == serial.canonical_bytes()
+            assert tcp.fleet["scheduler"]["hedges"] >= 1
+            assert tcp.fleet["scheduler"]["hedge_mismatches"] == 0
+        finally:
+            for worker in workers:
+                worker.resume()
+                worker.close()
+
+    def test_hedging_can_be_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_HEDGE", "0")
+        spec = SweepSpec("no-hedge", base_seed=3)
+        for i in range(4):
+            spec.add(f"t{i}", ok_task)
+        server = WorkerServer(slots=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            outcome = run_sweep(
+                spec, backend="tcp", hosts=[(server.host, server.port)]
+            )
+            assert outcome.passed
+            assert outcome.fleet["scheduler"]["hedges"] == 0
+        finally:
+            server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Authentication: rejected before any pickle is deserialised
+# ---------------------------------------------------------------------------
+
+
+class TestAuthRejection:
+    def _serve(self, server):
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def test_wrong_secret_parent_is_a_clear_sweep_error(self, monkeypatch):
+        """Parent and worker disagree on the secret: the campaign fails
+        with an error naming authentication, and the worker never
+        deserialises a byte of the job stream."""
+        monkeypatch.setenv("REPRO_SWEEP_CONNECT_TIMEOUT_S", "2")
+        unpickles = []
+        real_loads = remote._loads
+        monkeypatch.setattr(
+            remote,
+            "_loads",
+            lambda payload, what: unpickles.append(what)
+            or real_loads(payload, what),
+        )
+        server = WorkerServer(slots=1, secret="alpha")
+        self._serve(server)
+        try:
+            spec = SweepSpec("badsecret", base_seed=2).add("a", ok_task)
+            with pytest.raises(SweepError, match="authentication"):
+                run_sweep(
+                    spec,
+                    backend="tcp",
+                    hosts=[(server.host, server.port)],
+                    secret="beta",
+                )
+            assert unpickles == []
+        finally:
+            server.stop()
+
+    def test_missing_secret_parent_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CONNECT_TIMEOUT_S", "2")
+        monkeypatch.delenv("REPRO_SWEEP_SECRET", raising=False)
+        server = WorkerServer(slots=1, secret="alpha")
+        self._serve(server)
+        try:
+            spec = SweepSpec("nosecret", base_seed=2).add("a", ok_task)
+            with pytest.raises(SweepError, match="authentication"):
+                run_sweep(spec, backend="tcp", hosts=[(server.host, server.port)])
+        finally:
+            server.stop()
+
+    def test_matching_secret_serves_the_campaign(self):
+        server = WorkerServer(slots=2, secret="s3cret")
+        self._serve(server)
+        try:
+            spec = SweepSpec("goodsecret", base_seed=2)
+            for i in range(4):
+                spec.add(f"t{i}", ok_task)
+            outcome = run_sweep(
+                spec,
+                backend="tcp",
+                hosts=[(server.host, server.port)],
+                secret="s3cret",
+            )
+            assert outcome.passed
+            assert server.auth_failures == 0
+        finally:
+            server.stop()
+
+    def test_task_frame_before_auth_is_refused_without_unpickling(
+        self, monkeypatch
+    ):
+        """A raw peer that completes HELLO/WELCOME and then ships a TASK
+        without proving the secret gets BYE — and the poisoned pickle is
+        never deserialised."""
+        unpickles = []
+        monkeypatch.setattr(
+            remote, "_loads", lambda payload, what: unpickles.append(what)
+        )
+        server = WorkerServer(slots=1, secret="s3cret")
+        self._serve(server)
+        sock = socket.create_connection((server.host, server.port), timeout=10)
+        try:
+            sock.sendall(
+                encode_frame(
+                    MSG_HELLO,
+                    _json_payload(
+                        {
+                            "version": remote.PROTOCOL_VERSION,
+                            "nonce": _fresh_nonce(),
+                        }
+                    ),
+                )
+            )
+            mtype, _payload = read_frame(sock)
+            assert mtype == MSG_WELCOME
+            poisoned = struct.pack("!I", 0) + pickle.dumps({"boom": True})
+            sock.sendall(encode_frame(MSG_TASK, poisoned))
+            mtype, payload = read_frame(sock)
+            assert mtype == MSG_BYE
+            assert "authentication required" in _parse_json(payload, "BYE")["error"]
+            assert unpickles == []
+            assert server.auth_failures == 1
+        finally:
+            sock.close()
+            server.stop()
+
+    def test_bad_auth_proof_is_refused(self):
+        server = WorkerServer(slots=1, secret="s3cret")
+        self._serve(server)
+        sock = socket.create_connection((server.host, server.port), timeout=10)
+        try:
+            sock.sendall(
+                encode_frame(
+                    MSG_HELLO,
+                    _json_payload(
+                        {
+                            "version": remote.PROTOCOL_VERSION,
+                            "nonce": _fresh_nonce(),
+                        }
+                    ),
+                )
+            )
+            mtype, _payload = read_frame(sock)
+            assert mtype == MSG_WELCOME
+            sock.sendall(
+                encode_frame(MSG_AUTH, _json_payload({"proof": "forged"}))
+            )
+            mtype, payload = read_frame(sock)
+            assert mtype == MSG_BYE
+            error = _parse_json(payload, "BYE")["error"]
+            assert "authentication failed" in error
+            assert "REPRO_SWEEP_SECRET" in error  # the fix is named
+        finally:
+            sock.close()
+            server.stop()
+
+    def test_v1_peer_is_rejected_with_version_mismatch(self):
+        """An old (pre-auth) parent sends HELLO without a nonce at
+        version 1: refused with a message naming both versions."""
+        server = WorkerServer(slots=1)
+        self._serve(server)
+        sock = socket.create_connection((server.host, server.port), timeout=10)
+        try:
+            sock.sendall(
+                encode_frame(MSG_HELLO, _json_payload({"version": 1}))
+            )
+            mtype, payload = read_frame(sock)
+            assert mtype == MSG_BYE
+            error = _parse_json(payload, "BYE")["error"]
+            assert "version mismatch" in error
+            assert "speaks 1" in error and "speaks 2" in error
+        finally:
+            sock.close()
+            server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Loss forgiveness (scheduler unit: no sockets)
+# ---------------------------------------------------------------------------
+
+
+class TestLossForgiveness:
+    def _scheduler(self):
+        from repro.sweep.runner import ExecutorContext
+
+        tasks = [SweepTask(index=0, name="a", seed=1, fn=ok_task)]
+        ctx = ExecutorContext(
+            workers=0,
+            retries=1,
+            fail_fast=False,
+            watchdog=None,
+            on_row=lambda row: None,
+        )
+        return remote._Scheduler(tasks, ctx, hosts=[("w", 1)])
+
+    def test_rejoin_refunds_one_charged_loss(self):
+        scheduler = self._scheduler()
+        scheduler.losses[0] = 1
+        scheduler.loss_sources[0] = ["w:1"]
+        scheduler._forgive_losses("w:1")
+        assert scheduler.losses[0] == 0
+        assert scheduler.stats["forgiven_losses"] == 1
+
+    def test_each_worker_forgives_a_cell_at_most_once(self):
+        """An assassin cell that keeps killing the same rejoining worker
+        must still burn the budget: one flap, one pardon."""
+        scheduler = self._scheduler()
+        scheduler.losses[0] = 1
+        scheduler.loss_sources[0] = ["w:1"]
+        scheduler._forgive_losses("w:1")
+        scheduler.losses[0] = 1  # lost to the same worker again
+        scheduler.loss_sources[0].append("w:1")
+        scheduler._forgive_losses("w:1")
+        assert scheduler.losses[0] == 1  # no second pardon
+        assert scheduler.stats["forgiven_losses"] == 1
+
+    def test_landed_rows_are_never_refunded(self):
+        from repro.sweep.spec import SweepResult
+
+        scheduler = self._scheduler()
+        scheduler.losses[0] = 1
+        scheduler.loss_sources[0] = ["w:1"]
+        scheduler.rows[0] = SweepResult(
+            index=0, name="a", seed=1, status=SweepResult.FAILED
+        )
+        scheduler._forgive_losses("w:1")
+        assert scheduler.losses[0] == 1
+        assert scheduler.stats["forgiven_losses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# --max-idle: orphaned workers exit on their own
+# ---------------------------------------------------------------------------
+
+
+class TestMaxIdle:
+    def test_idle_worker_exits_on_its_own(self):
+        server = WorkerServer(slots=1, max_idle=0.4)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert server.idle_exit
+
+    def test_a_campaign_resets_the_idle_clock(self):
+        server = WorkerServer(slots=1, max_idle=1.5)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            time.sleep(0.8)  # idle, but under the limit
+            spec = SweepSpec("reset", base_seed=4).add("a", ok_task)
+            outcome = run_sweep(
+                spec, backend="tcp", hosts=[(server.host, server.port)]
+            )
+            assert outcome.passed
+            assert thread.is_alive()  # the campaign reset the clock
+        finally:
+            server.stop()
+            thread.join(timeout=15)
+
+    def test_invalid_max_idle_is_sweep_error(self):
+        with pytest.raises(SweepError, match="max_idle"):
+            WorkerServer(slots=1, max_idle=0)
+
+    def test_cli_flag_exits_and_reports(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--max-idle",
+                "0.5",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        try:
+            out, err = process.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise
+        assert process.returncode == 0, err
+        assert "LISTENING" in out
+        assert "idle limit reached" in out

@@ -22,6 +22,7 @@ from repro.sweep import (
 )
 from repro.sweep.remote import (
     HOSTS_ENV,
+    MSG_AUTH,
     MSG_BYE,
     MSG_GET,
     MSG_HELLO,
@@ -30,15 +31,20 @@ from repro.sweep.remote import (
     MSG_TASK,
     MSG_WELCOME,
     PROTOCOL_VERSION,
+    SECRET_ENV,
     FrameBuffer,
     ProgramRef,
     ProtocolError,
+    _auth_proof,
+    _env_seconds,
+    _fresh_nonce,
     _json_payload,
     _parse_json,
     default_hosts,
     encode_frame,
     export_task,
     read_frame,
+    resolve_secret,
     resolve_task,
 )
 from repro.sweep.runner import execute_task
@@ -218,6 +224,104 @@ class TestParseHosts:
         with pytest.raises(SweepError, match=HOSTS_ENV):
             default_hosts()
 
+    def test_whitespace_around_entries_is_ignored(self):
+        assert parse_hosts(" a:1 , b:2 ,\tc:3 ") == [
+            ("a", 1),
+            ("b", 2),
+            ("c", 3),
+        ]
+        assert parse_hosts(["  a:1  "]) == [("a", 1)]
+
+    def test_duplicate_entries_are_rejected(self):
+        with pytest.raises(SweepError, match="duplicate"):
+            parse_hosts("a:1,b:2,a:1")
+        # Whitespace variants of the same endpoint are still duplicates.
+        with pytest.raises(SweepError, match="duplicate"):
+            parse_hosts(["a:1", " a:1 "])
+        with pytest.raises(SweepError, match="duplicate"):
+            parse_hosts([("a", 1), ("a", 1)])
+
+    @pytest.mark.parametrize("port", [0, -1, 65536, 100000])
+    def test_out_of_range_ports_are_rejected(self, port):
+        with pytest.raises(SweepError, match="1..65535"):
+            parse_hosts(f"a:{port}")
+        with pytest.raises(SweepError, match="1..65535"):
+            parse_hosts([("a", port)])
+
+    def test_port_bounds_are_inclusive(self):
+        assert parse_hosts("a:1,b:65535") == [("a", 1), ("b", 65535)]
+
+    @pytest.mark.parametrize("entry", ["[::1]:7777", "[fe80::1%eth0]:7", "::1:7777"])
+    def test_ipv6_syntax_is_a_clear_error(self, entry):
+        """IPv6 is documented as unsupported by the fleet syntax; the
+        error says so instead of dialling a bogus host."""
+        with pytest.raises(SweepError, match="not supported"):
+            parse_hosts(entry)
+
+
+# ---------------------------------------------------------------------------
+# Environment knob validation
+# ---------------------------------------------------------------------------
+
+
+class TestEnvSeconds:
+    KNOB = "REPRO_SWEEP_HEARTBEAT_S"
+
+    def test_unset_and_empty_yield_default(self, monkeypatch):
+        monkeypatch.delenv(self.KNOB, raising=False)
+        assert _env_seconds(self.KNOB, 2.5) == 2.5
+        monkeypatch.setenv(self.KNOB, "")
+        assert _env_seconds(self.KNOB, 2.5) == 2.5
+
+    def test_valid_value_parses(self, monkeypatch):
+        monkeypatch.setenv(self.KNOB, "0.25")
+        assert _env_seconds(self.KNOB, 2.5) == 0.25
+
+    @pytest.mark.parametrize(
+        "bad", ["0", "-1", "-0.5", "nan", "NaN", "inf", "-inf", "bogus"]
+    )
+    def test_invalid_values_raise_naming_the_knob(self, bad, monkeypatch):
+        """Zero, negative, NaN and infinite knobs must raise SweepError
+        naming the env var, never silently configure a broken fleet."""
+        monkeypatch.setenv(self.KNOB, bad)
+        with pytest.raises(SweepError, match=self.KNOB):
+            _env_seconds(self.KNOB, 2.5)
+
+
+# ---------------------------------------------------------------------------
+# Pre-shared-key authentication units
+# ---------------------------------------------------------------------------
+
+
+class TestAuth:
+    def test_resolve_secret_precedence(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SECRET_ENV, "from-env")
+        path = tmp_path / "secret"
+        path.write_text("from-file\n")
+        assert resolve_secret("explicit") == b"explicit"
+        assert resolve_secret(b"raw-bytes") == b"raw-bytes"
+        assert resolve_secret(secret_file=str(path)) == b"from-file"
+        assert resolve_secret() == b"from-env"
+        monkeypatch.delenv(SECRET_ENV)
+        assert resolve_secret() is None
+
+    def test_empty_or_unreadable_secret_file_is_sweep_error(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.write_text("  \n")
+        with pytest.raises(SweepError, match="empty"):
+            resolve_secret(secret_file=str(empty))
+        with pytest.raises(SweepError, match="cannot read"):
+            resolve_secret(secret_file=str(tmp_path / "missing"))
+
+    def test_proofs_are_role_and_nonce_separated(self):
+        a, b = _fresh_nonce(), _fresh_nonce()
+        worker = _auth_proof(b"k", "worker", a, b)
+        assert worker == _auth_proof(b"k", "worker", a, b)  # deterministic
+        assert worker != _auth_proof(b"k", "parent", a, b)  # role-bound
+        assert worker != _auth_proof(b"k", "worker", b, a)  # order-bound
+        assert worker != _auth_proof(b"other", "worker", a, b)  # key-bound
+        assert worker != _auth_proof(None, "worker", a, b)  # secret != open
+
 
 # ---------------------------------------------------------------------------
 # Content-addressed program shipping
@@ -312,14 +416,28 @@ class ScriptedWorker(threading.Thread):
         try:
             mtype, payload = read_frame(conn)
             assert mtype == MSG_HELLO
-            assert _parse_json(payload, "HELLO")["version"] == PROTOCOL_VERSION
+            hello = _parse_json(payload, "HELLO")
+            assert hello["version"] == PROTOCOL_VERSION
+            worker_nonce = _fresh_nonce()
             conn.sendall(
                 encode_frame(
                     MSG_WELCOME,
                     _json_payload(
-                        {"version": PROTOCOL_VERSION, "slots": self.slots}
+                        {
+                            "version": PROTOCOL_VERSION,
+                            "slots": self.slots,
+                            "nonce": worker_nonce,
+                            "proof": _auth_proof(
+                                None, "worker", hello["nonce"], worker_nonce
+                            ),
+                        }
                     ),
                 )
+            )
+            mtype, payload = read_frame(conn)
+            assert mtype == MSG_AUTH
+            assert _parse_json(payload, "AUTH")["proof"] == _auth_proof(
+                None, "parent", worker_nonce, hello["nonce"]
             )
             for _ in range(self.slots):
                 conn.sendall(encode_frame(MSG_GET, b"{}"))
@@ -558,9 +676,11 @@ class TestWorkerLoss:
             for process, _ in workers:
                 _reap(process)
 
-    def test_whole_fleet_loss_is_an_honest_sweep_error(self):
-        """Every worker dead with cells still pending: SweepError, not a
-        silent partial outcome."""
+    def test_whole_fleet_loss_is_an_honest_sweep_error(self, monkeypatch):
+        """Every worker dead with cells still pending and nobody rejoining
+        within the rejoin window: SweepError, not a silent partial
+        outcome."""
+        monkeypatch.setenv("REPRO_SWEEP_REJOIN_S", "1.5")
         process, addr = _spawn_worker(slots=1)
         try:
             spec = SweepSpec("allgone", base_seed=10)
